@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one table/figure of the paper on the
+simulator.  Simulations are deterministic, so every experiment runs once
+(``rounds=1``); pytest-benchmark records the wall time of regenerating
+the experiment and ``extra_info`` carries the paper-comparison report.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def run_experiment(benchmark, runner, **kwargs):
+    """Run one experiment under pytest-benchmark and attach its report."""
+    result = benchmark.pedantic(lambda: runner(**kwargs), rounds=1,
+                                iterations=1)
+    benchmark.extra_info["experiment"] = result.experiment_id
+    benchmark.extra_info["title"] = result.title
+    if result.comparison is not None:
+        benchmark.extra_info["worst_deviation"] = (
+            f"{100 * result.comparison.worst_deviation():.1f}%"
+        )
+    print(f"\n{result.report}")
+    if result.comparison is not None:
+        print(result.comparison.format())
+    return result

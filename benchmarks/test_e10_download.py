@@ -1,0 +1,29 @@
+"""E10: program download and start-up (Section 3.3).
+
+Paper anchors at 70 processes: 12 seconds with one stub + one download
+per process, 2 seconds with the fan-out tree.
+"""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import (
+    PAPER_DOWNLOAD_PER_PROCESS_S,
+    PAPER_DOWNLOAD_TREE_S,
+    experiment_download,
+)
+from repro.bench.harness import within
+
+
+def test_download_schemes(benchmark):
+    result = run_experiment(benchmark, experiment_download,
+                            node_counts=(10, 30, 50, 70))
+    data = result.data
+    assert within(data[70]["per-process"].seconds,
+                  PAPER_DOWNLOAD_PER_PROCESS_S, 0.10)
+    assert within(data[70]["tree"].seconds, PAPER_DOWNLOAD_TREE_S, 0.15)
+    # The tree advantage grows with the process count.
+    speedups = [data[n]["per-process"].seconds / data[n]["tree"].seconds
+                for n in (10, 30, 50, 70)]
+    assert speedups == sorted(speedups)
+    # Per-process cost is linear in N (host-centralized work).
+    assert data[70]["per-process"].seconds > 6 * data[10]["per-process"].seconds

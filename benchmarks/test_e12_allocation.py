@@ -1,0 +1,24 @@
+"""E12: processor allocation policies (Section 3.1).
+
+Monte-Carlo developer workload: under Meglos's allocate-on-run policy,
+recompiling developers return to "processors not available"; under
+VORX's reserve-for-session policy runs never fail, but forgotten frees
+leave processors held idle.
+"""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import experiment_allocation
+
+
+def test_allocation_policies(benchmark):
+    result = run_experiment(benchmark, experiment_allocation)
+    meglos = result.data["meglos"]
+    vorx = result.data["vorx"]
+    # Meglos: the paper's failure mode occurs...
+    assert meglos.total_failures > 0
+    # ...but VORX's reservations eliminate it completely.
+    assert vorx.total_failures == 0
+    # The VORX cost: processors held but idle (reserved across edits,
+    # plus the occasional forgotten free).
+    assert vorx.held_idle_fraction > meglos.held_idle_fraction

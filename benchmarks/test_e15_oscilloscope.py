@@ -1,0 +1,18 @@
+"""E15: the software oscilloscope on an imbalanced application
+(Section 6.2) -- the display shows exactly the load-balance problem the
+tool was built to expose.
+"""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import experiment_oscilloscope
+
+
+def test_oscilloscope_output(benchmark):
+    result = run_experiment(benchmark, experiment_oscilloscope)
+    view = result.data["view"]
+    # The imbalance is visible: max/mean user time well above 1.
+    assert result.data["imbalance"] > 1.4
+    # The report contains per-processor strips and the category table.
+    assert "%USER" in result.report
+    assert "|" in result.report

@@ -1,0 +1,18 @@
+"""E16: cdb examining a deadlocked application (Section 6.1).
+
+Three processes in a read-before-write cycle; cdb dumps the channel
+states ("blocked waiting for input") and isolates the wait cycle.
+"""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import experiment_cdb
+
+
+def test_cdb_on_deadlock(benchmark):
+    result = run_experiment(benchmark, experiment_cdb)
+    cycles = result.data["cycles"]
+    assert len(cycles) == 1
+    assert len(cycles[0]) == 3
+    assert "blocked-reading" in result.report
+    assert "deadlock cycle" in result.report

@@ -1,0 +1,21 @@
+"""E17: stub organisation pathologies (Section 3.3).
+
+With a shared stub, one process's blocking keyboard read stalls every
+sibling's system calls for its full duration; with per-process stubs the
+siblings are unaffected.
+"""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import experiment_stubs
+
+
+def test_stub_blocking_serialisation(benchmark):
+    result = run_experiment(benchmark, experiment_stubs)
+    per_process = result.data["stub per process"]
+    shared = result.data["shared stub"]
+    # Shared stub: the worker waits out the sibling's 0.5 s block.
+    assert shared > 400_000.0
+    # Per-process stubs: milliseconds.
+    assert per_process < 20_000.0
+    assert shared > 20 * per_process

@@ -1,0 +1,20 @@
+"""E18 (extension): decentralized system calls (Section 3.3 future work).
+
+The paper's planned fix for the single-host syscall bottleneck: direct
+system calls to any of the host workstations.  Aggregate throughput
+should scale with the host count.
+"""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import experiment_decentralized_syscalls
+
+
+def test_syscall_throughput_scales_with_hosts(benchmark):
+    result = run_experiment(benchmark, experiment_decentralized_syscalls,
+                            n_nodes=6, calls_per_node=10,
+                            host_counts=(1, 2, 4))
+    data = result.data
+    # More hosts -> materially higher aggregate throughput.
+    assert data[2]["calls_per_sec"] > 1.5 * data[1]["calls_per_sec"]
+    assert data[4]["calls_per_sec"] > 2.2 * data[1]["calls_per_sec"]

@@ -1,0 +1,22 @@
+"""E4: user-defined communications objects with no protocol (Section 4.1).
+
+The parallel-SPICE measurement: 64-byte messages, direct register access,
+interrupts disabled, polling -- ~60 us one-way software latency.
+"""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import (
+    PAPER_UD_LATENCY_US,
+    experiment_userdefined_latency,
+)
+from repro.bench.harness import within
+
+
+def test_userdefined_latency(benchmark):
+    result = run_experiment(benchmark, experiment_userdefined_latency,
+                            rounds=300)
+    assert within(result.data.one_way_us, PAPER_UD_LATENCY_US, 0.2)
+    # Far below the channel protocol's 341 us for the same size: the
+    # whole point of user-defined objects.
+    assert result.data.one_way_us < 341 / 3

@@ -1,0 +1,16 @@
+"""E5: real-time bitmap streaming (Section 4.1).
+
+Target shape: ~3.2 Mbyte/s with hardware-only flow control -- enough to
+refresh a 900x900 bi-level display patch at 30 Hz from a remote node.
+"""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import PAPER_BITMAP_MBPS, experiment_bitmap
+from repro.bench.harness import within
+
+
+def test_bitmap_streaming(benchmark):
+    result = run_experiment(benchmark, experiment_bitmap, frames=3)
+    assert within(result.data.mbytes_per_sec, PAPER_BITMAP_MBPS, 0.15)
+    assert result.data.refreshes_900x900_at_30hz

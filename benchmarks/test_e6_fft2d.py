@@ -1,0 +1,27 @@
+"""E6: the 2DFFT result-distribution comparison (Section 4.2).
+
+Multicast makes every receiver read everything; point-to-point sends
+each processor only what it needs.  The waste ratio equals the processor
+count, and in the byte-dominated regime point-to-point wins outright.
+"""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import experiment_fft2d
+
+
+def test_fft2d_distribution(benchmark):
+    result = run_experiment(benchmark, experiment_fft2d, n=32, ps=(2, 4, 8))
+    data = result.data
+    for p in (2, 4, 8):
+        mc, pp = data[p]["multicast"], data[p]["point-to-point"]
+        assert mc.correct and pp.correct
+        # Waste ratio == p (each receiver needs 1/p of what it reads).
+        assert abs(mc.bytes_read_per_node / pp.bytes_read_per_node - p) < 0.1
+        # Point-to-point is faster once bytes dominate.
+        assert pp.elapsed_us < mc.elapsed_us
+    # The advantage grows with the processor count.
+    gain = {p: data[p]["multicast"].elapsed_us
+            - data[p]["point-to-point"].elapsed_us for p in (2, 8)}
+    assert data[8]["multicast"].bytes_read_per_node > \
+        data[2]["multicast"].bytes_read_per_node

@@ -1,0 +1,39 @@
+"""E7+E8+E13: hardware versus software flow control (Section 2).
+
+Many-to-one long messages on the S/NET: busy retransmission livelocks
+(the receiver reads and discards partial messages forever); random
+backoff recovers but runs at the timeout rate; the reservation protocol
+eliminates overflow; the HPC's in-hardware flow control handles the same
+workload without any recovery machinery.  Plus the fifo sizing rule:
+twelve 150-byte messages fit in the 2048-byte fifo, a thirteenth does
+not.
+"""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import (
+    experiment_fifo_sizing,
+    experiment_flow_control,
+)
+
+
+def test_flow_control_schemes(benchmark):
+    result = run_experiment(benchmark, experiment_flow_control,
+                            n_senders=6, message_bytes=1000)
+    data = result.data
+    # The original Meglos scheme locks out under this workload.
+    assert not data["snet busy-retransmit"]["finished"]
+    assert data["snet busy-retransmit"]["partials_discarded"] > 100
+    # Every alternative completes.
+    for scheme in ("snet random-backoff", "snet reservation",
+                   "hpc hardware"):
+        assert data[scheme]["finished"], scheme
+    # Hardware flow control needs no partial-message discards at all.
+    assert data["hpc hardware"]["partials_discarded"] == 0
+    assert data["snet reservation"]["partials_discarded"] == 0
+
+
+def test_fifo_sizing_rule(benchmark):
+    result = run_experiment(benchmark, experiment_fifo_sizing)
+    assert result.data[12] == 0  # 12 x 150B fit
+    assert result.data[13] >= 1  # the 13th overflows

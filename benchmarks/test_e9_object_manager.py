@@ -1,0 +1,32 @@
+"""E9: the channel-open bottleneck (Section 3.2).
+
+Meglos centralized all resource management on a single host -- "a
+serious performance bottleneck for systems with over ten processors".
+VORX replicates the object manager onto every node with distributed
+hashing.  Application start-up (every node opening its channels) should
+scale flat under the distributed manager and degrade linearly under the
+centralized one.
+"""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import experiment_object_manager
+
+
+def test_object_manager_scaling(benchmark):
+    result = run_experiment(benchmark, experiment_object_manager,
+                            node_counts=(2, 4, 8, 16))
+    data = result.data
+    speedup = {
+        p: data[p]["centralized"] / data[p]["distributed"]
+        for p in data
+    }
+    # At two nodes the organisations are comparable...
+    assert speedup[2] < 1.5
+    # ...and the centralized manager degrades as nodes are added.
+    assert speedup[16] > 2.5
+    assert speedup[16] > speedup[4] > speedup[2]
+    # Distributed setup time stays nearly flat (sub-linear growth).
+    assert data[16]["distributed"] < 4 * data[2]["distributed"]
+    # Centralized grows roughly linearly with node count.
+    assert data[16]["centralized"] > 4 * data[2]["centralized"]

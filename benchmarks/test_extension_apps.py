@@ -1,0 +1,58 @@
+"""Benchmarks for the extension applications (the paper's tenants).
+
+Not paper tables -- these regenerate the *capabilities* the paper's
+introduction claims for the platform: real-time conferencing across
+workstations (Rapport), parallel circuit simulation (CEMU), and
+real-time device control (the robotics work on S/NET-Meglos that
+motivated subprocess priorities).
+"""
+
+from repro.apps.cemu import Circuit, run_cemu
+from repro.apps.rapport import AUDIO_PERIOD_US, run_rapport
+from repro.apps.robot import run_robot_control
+
+
+def test_rapport_conference_realtime(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_rapport(n_conferees=4, n_rounds=25),
+        rounds=1, iterations=1,
+    )
+    print(f"\n{result.n_conferees} conferees: mean mixed-audio latency "
+          f"{result.mean_audio_latency_us / 1000:.2f} ms, delivery "
+          f"{100 * result.delivery_ratio:.0f}%, video tiles "
+          f"{result.video_tiles_delivered}")
+    assert result.realtime_ok
+    assert result.mean_audio_latency_us < 2 * AUDIO_PERIOD_US
+
+
+def test_cemu_parallel_simulation(benchmark):
+    circuit = Circuit.random(n_inputs=8, n_gates=64)
+
+    def run():
+        return {p: run_cemu(circuit=circuit, p=p, timesteps=10)
+                for p in (1, 2, 4)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nCEMU gate-evals/s by node count:",
+          {p: f"{r.gates_per_second:,.0f}" for p, r in results.items()})
+    assert all(r.correct for r in results.values())
+    # Change-event traffic only: far fewer events than gate evaluations.
+    total_evals = 64 * 10
+    assert results[4].events_sent < total_evals
+
+
+def test_robot_realtime_control(benchmark):
+    def run():
+        return (run_robot_control(control_priority=0,
+                                  background_priority=10),
+                run_robot_control(control_priority=5,
+                                  background_priority=5))
+
+    prioritised, equal = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nprioritised: {prioritised.deadline_misses} misses, "
+          f"final angle {prioritised.final_angle:.3f}; equal-priority: "
+          f"{equal.deadline_misses} misses, final {equal.final_angle:.3f}")
+    assert prioritised.deadline_misses == 0
+    assert abs(prioritised.final_angle - 1.0) < 0.1
+    assert equal.deadline_misses > 100
+    assert abs(equal.final_angle - 1.0) > 0.5

@@ -1,0 +1,21 @@
+"""F1: Figure 1's typical local area multicomputer, plus the Section 1
+scaling arithmetic: a 1024-node system from 256 twelve-port clusters,
+8 ports to hypercube neighbours and 4 to processing nodes.
+"""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import experiment_topology
+
+
+def test_topology_accounting(benchmark):
+    result = run_experiment(benchmark, experiment_topology)
+    lam = result.data["lam"]
+    flagship = result.data["flagship"]
+    # The operational system: 70 nodes + 10 workstations.
+    assert lam["endpoints"] == 80
+    # The flagship: 1024 nodes on 256 clusters, every port used.
+    assert flagship["endpoints"] == 1024
+    assert flagship["clusters"] == 256
+    assert all(ports == 12 for ports in flagship["port_utilisation"].values())
+    assert flagship["cluster_links"] == 256 * 8 // 2

@@ -1,0 +1,27 @@
+"""E2+E3 / Table 2: channel (stop-and-wait) latency and bandwidth.
+
+Regenerates Table 2 and the Section 4 in-text numbers: 303 us end-to-end
+for 4-byte messages and ~1027 kbyte/s for 1024-byte messages.
+"""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import (
+    PAPER_CHANNEL_KBPS,
+    PAPER_TABLE2,
+    experiment_table2,
+)
+from repro.bench.harness import within
+
+
+def test_table2_channel_latency(benchmark):
+    result = run_experiment(benchmark, experiment_table2, n_messages=500)
+    measured = result.data
+    for size, paper in PAPER_TABLE2.items():
+        assert within(measured[size], paper, 0.05), (size, measured[size])
+    # Latency grows linearly in message size at ~0.68 us/byte.
+    slope = (measured[1024] - measured[4]) / 1020.0
+    assert 0.6 < slope < 0.75
+    # Bandwidth at 1024 bytes approaches the paper's 1027 kbyte/s.
+    kbps = 1024 / (measured[1024] / 1e6) / 1024
+    assert within(kbps, PAPER_CHANNEL_KBPS, 0.08)

@@ -1,0 +1,56 @@
+"""CEMU-style parallel circuit simulation (paper refs [15], Sections 4.1/5).
+
+MOS timing simulation was one of HPC/VORX's demanding tenants -- it is
+why user-defined communications objects exist.  This example simulates a
+real gate-level netlist (an 8-bit ripple-carry adder, then a random
+circuit) in parallel across the node pool, exchanging only *changed*
+signals in batched messages each lock-step, and verifies the result
+against the single-node reference simulation.
+
+Run:  python examples/circuit_simulation.py
+"""
+
+from repro.apps.cemu import Circuit, run_cemu, simulate_serial
+from repro.bench import format_table
+
+
+def main() -> None:
+    # A real computation: add two numbers with simulated logic gates.
+    bits = 8
+    a, b = 173, 89
+    adder = Circuit.ripple_adder(bits=bits)
+    inputs = (
+        [(a >> i) & 1 for i in range(bits)]
+        + [(b >> i) & 1 for i in range(bits)]
+        + [0]
+    )
+    result = run_cemu(circuit=adder, inputs=inputs, p=4, timesteps=6 * bits)
+    values = simulate_serial(adder, inputs, timesteps=6 * bits)
+    total = sum(values[adder.sum_gate(i)] << i for i in range(bits))
+    total += values[adder.carry_gate(bits - 1)] << bits
+    print(f"ripple-carry adder on 4 nodes: {a} + {b} = {total} "
+          f"(parallel == serial: {result.correct})\n")
+
+    # Scaling on a larger random netlist.
+    circuit = Circuit.random(n_inputs=8, n_gates=64)
+    rows = []
+    for p in (1, 2, 4, 8):
+        r = run_cemu(circuit=circuit, p=p, timesteps=10)
+        rows.append([p, f"{r.elapsed_us / 1000:.1f}",
+                     f"{r.gates_per_second:,.0f}", r.events_sent,
+                     r.messages_sent, "yes" if r.correct else "NO"])
+    print(format_table(
+        ["nodes", "elapsed ms", "gate-evals/s", "change events",
+         "messages", "correct"],
+        rows,
+    ))
+    print(
+        "\nOnly *changed* signals cross partitions (change-event traffic,\n"
+        "the message pattern timing simulators generate); at this tiny\n"
+        "netlist size communication dominates beyond a few nodes --\n"
+        "which is exactly why CEMU cared so much about protocol overhead."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Debugging a deadlocked application with cdb and vdb (Section 6).
+
+Three processes pass tokens around a ring, but every one of them reads
+before writing -- the classic communications deadlock.  cdb dumps the
+channel states and isolates the wait cycle; vdb attaches to a stuck
+process and recovers its backtrace.
+
+Run:  python examples/deadlock_debugging.py
+"""
+
+from repro import VorxSystem
+from repro.tools import Cdb, Vdb
+
+
+def main() -> None:
+    system = VorxSystem(n_nodes=3)
+
+    def stage(env, first, second, rx_name):
+        a = yield from env.open(first)
+        b = yield from env.open(second)
+        rx = a if first == rx_name else b
+        tx = b if first == rx_name else a
+        # BUG: every stage waits for its predecessor before sending.
+        yield from env.read(rx)
+        yield from env.write(tx, 64)
+
+    system.spawn(0, lambda env: stage(env, "a-b", "c-a", "c-a"), name="procA")
+    system.spawn(1, lambda env: stage(env, "a-b", "b-c", "a-b"), name="procB")
+    system.spawn(2, lambda env: stage(env, "b-c", "c-a", "b-c"), name="procC")
+    system.run()  # quiesces with everyone blocked
+
+    print("the application has stopped; running cdb...\n")
+    cdb = Cdb(system)
+    print(cdb.format(cdb.channels()))
+    print()
+    print(cdb.report_deadlocks())
+
+    print("\nattaching vdb to the first stuck process...\n")
+    vdb = Vdb(system)
+    stuck = cdb.find_deadlocks()[0][0]
+    print(vdb.attach(stuck).format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""The Section 4.2 story: why multicast is inappropriate for the 2DFFT.
+
+Computes a real two-dimensional FFT (verified against numpy.fft.fft2)
+over a pool of simulated processors, distributing the intermediate
+results two ways: multicast-everything versus per-receiver
+point-to-point messages.
+
+Run:  python examples/fft2d_demo.py
+"""
+
+from repro.apps import run_fft2d
+from repro.bench import format_table
+
+
+def main() -> None:
+    n = 32
+    rows = []
+    for p in (2, 4, 8):
+        multicast = run_fft2d(n=n, p=p, strategy="multicast")
+        p2p = run_fft2d(n=n, p=p, strategy="point-to-point")
+        assert multicast.correct and p2p.correct, "FFT mismatch!"
+        rows.append([
+            p,
+            f"{multicast.elapsed_ms:.1f}",
+            f"{p2p.elapsed_ms:.1f}",
+            f"{multicast.bytes_read_per_node:.0f}",
+            f"{p2p.bytes_read_per_node:.0f}",
+            f"{multicast.bytes_read_per_node / p2p.bytes_read_per_node:.0f}x",
+        ])
+    print(f"2DFFT of a {n}x{n} image (results verified against numpy)\n")
+    print(format_table(
+        ["procs", "multicast ms", "p2p ms", "mc bytes/node",
+         "p2p bytes/node", "wasted reading"],
+        rows,
+    ))
+    print(
+        "\nThe waste ratio equals the processor count: each multicast\n"
+        "receiver reads every row but needs only its own columns.  At the\n"
+        "paper's scale (256 processors) each node would read 65536 values\n"
+        "to use 256 -- which is why VORX programmers send per-receiver\n"
+        "messages instead (Section 4.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Real-time robot-arm control with prioritised subprocesses (Section 5).
+
+The original reason VORX has subprocesses with distinct priorities and a
+preemptive scheduler: device control.  A PD control loop drives a
+simulated one-joint arm to its setpoint while a low-priority trajectory
+planner churns in the background; rerunning with *equal* priorities
+shows the failure mode the scheduler prevents.
+
+Run:  python examples/realtime_robot.py
+"""
+
+from repro.apps.robot import CONTROL_PERIOD_US, run_robot_control
+from repro.bench import format_table
+
+
+def main() -> None:
+    prioritised = run_robot_control(control_priority=0,
+                                    background_priority=10)
+    equal = run_robot_control(control_priority=5, background_priority=5)
+    rows = []
+    for label, r in (("control prio 0, planner 10", prioritised),
+                     ("both priority 5", equal)):
+        rows.append([
+            label,
+            f"{r.mean_latency_us:.0f}",
+            f"{r.max_latency_us:.0f}",
+            f"{r.deadline_misses}/{r.samples}",
+            f"{r.final_angle:.3f}",
+            f"{r.tracking_error:.3f}",
+        ])
+    print(f"PD control of a simulated arm; sensor period "
+          f"{CONTROL_PERIOD_US / 1000:.1f} ms, setpoint 1.0 rad\n")
+    print(format_table(
+        ["scheduling", "mean latency us", "max us", "deadline misses",
+         "final angle", "tracking error"],
+        rows,
+    ))
+    print(
+        "\nWith distinct priorities the preemptive scheduler lands every\n"
+        "torque update inside its period and the arm settles on the\n"
+        "setpoint; with equal priorities the control loop queues behind\n"
+        "the planner's bursts and the arm never gets there (Section 5)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""repro: a reproduction of "The Evolution of HPC/VORX" (PPOPP 1990).
+
+A discrete-event simulation of the complete HPC/VORX local area
+multicomputer -- the HPC interconnect, the VORX distributed operating
+system, its Meglos/S-NET predecessor, the program development tools, and
+the applications and experiments the paper reports.
+
+Quick start::
+
+    from repro import VorxSystem
+
+    system = VorxSystem(n_nodes=2)
+
+    def sender(env):
+        ch = yield from env.open("data")
+        yield from env.write(ch, 1024, payload="hello")
+
+    def receiver(env):
+        ch = yield from env.open("data")
+        size, payload = yield from env.read(ch)
+        return payload
+
+    system.spawn(0, sender)
+    rx = system.spawn(1, receiver)
+    system.run()
+    print(rx.result)  # "hello"
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured results of every table and figure.
+"""
+
+from repro.model import DEFAULT_COSTS, CostModel
+from repro.sim import Simulator
+from repro.vorx import Env, NodeKernel, VorxSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "VorxSystem",
+    "NodeKernel",
+    "Env",
+    "Simulator",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "__version__",
+]

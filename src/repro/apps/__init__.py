@@ -1,0 +1,52 @@
+"""Applications from the paper, running on the simulated system.
+
+* :mod:`repro.apps.fft2d` -- the Section 4.2 two-dimensional FFT, with
+  both result-distribution strategies (multicast vs. point-to-point).
+* :mod:`repro.apps.bitmap` -- Section 4.1's real-time bitmap streaming to
+  a workstation frame buffer (no flow control, hardware-paced).
+* :mod:`repro.apps.spice` -- a parallel-SPICE-style iterative sparse
+  solver using user-defined objects in polling mode.
+* :mod:`repro.apps.linda` -- a small Linda tuple space (the S/NET Linda
+  was an early Meglos tenant).
+* :mod:`repro.apps.pingpong` -- two processes alternating messages with
+  no flow-control protocol at all (Section 4.1).
+* :mod:`repro.apps.manytoone` -- the many-to-one synchronisation pattern
+  behind the Section 2 flow-control story (and the oscilloscope demo).
+"""
+
+from repro.apps.fft2d import FFT2DResult, run_fft2d
+from repro.apps.bitmap import BitmapResult, run_bitmap_stream
+from repro.apps.spice import SpiceResult, run_spice_solver, measure_userdefined_latency
+from repro.apps.linda import TupleSpaceResult, run_linda
+from repro.apps.pingpong import PingPongResult, run_pingpong
+from repro.apps.cemu import CemuResult, Circuit, run_cemu, simulate_serial
+from repro.apps.robot import RobotResult, run_robot_control
+from repro.apps.manytoone import ManyToOneResult, run_many_to_one
+from repro.apps.rapport import RapportResult, run_rapport
+from repro.apps.structuring import StructuringResult, run_structuring
+
+__all__ = [
+    "RobotResult",
+    "run_robot_control",
+    "CemuResult",
+    "Circuit",
+    "run_cemu",
+    "simulate_serial",
+    "RapportResult",
+    "run_rapport",
+    "StructuringResult",
+    "run_structuring",
+    "FFT2DResult",
+    "run_fft2d",
+    "BitmapResult",
+    "run_bitmap_stream",
+    "SpiceResult",
+    "run_spice_solver",
+    "measure_userdefined_latency",
+    "TupleSpaceResult",
+    "run_linda",
+    "PingPongResult",
+    "run_pingpong",
+    "ManyToOneResult",
+    "run_many_to_one",
+]

@@ -1,0 +1,183 @@
+"""A small Linda tuple space (paper Sections 1 and 4.1).
+
+Linda was one of the S/NET-Meglos tenants ("it was also used to
+implement ... the Linda parallel language"), and its implementors were
+among the users who needed non-channel semantics -- which is part of why
+VORX grew user-defined communications objects.
+
+This module implements a centralised tuple-space server on one node with
+``out`` / ``in`` / ``rd`` operations from workers over channels, plus a
+master/worker demo application (:func:`run_linda`) that distributes work
+tuples and collects results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.vorx.system import VorxSystem
+
+#: Wire size of a tuple-space operation (marshalled tuple).
+TUPLE_BYTES = 96
+
+
+class TupleSpace:
+    """Server-side store: tuples with blocking pattern match."""
+
+    def __init__(self) -> None:
+        self.tuples: list[tuple] = []
+        #: (pattern, reply_fn, remove) waiting for a match.
+        self.waiters: list[tuple[tuple, Any, bool]] = []
+        self.ops = {"out": 0, "in": 0, "rd": 0}
+
+    @staticmethod
+    def matches(pattern: tuple, candidate: tuple) -> bool:
+        """None fields are wildcards; others must be equal."""
+        if len(pattern) != len(candidate):
+            return False
+        return all(p is None or p == c for p, c in zip(pattern, candidate))
+
+    def out(self, tup: tuple) -> Optional[tuple]:
+        """Add a tuple; returns a (waiter_reply, tuple) if one was waiting."""
+        self.ops["out"] += 1
+        for index, (pattern, reply, remove) in enumerate(self.waiters):
+            if self.matches(pattern, tup):
+                del self.waiters[index]
+                if not remove:
+                    self.tuples.append(tup)
+                return reply, tup
+        self.tuples.append(tup)
+        return None
+
+    def take(self, pattern: tuple, remove: bool) -> Optional[tuple]:
+        """Match-and-maybe-remove; None if nothing matches."""
+        self.ops["in" if remove else "rd"] += 1
+        for index, candidate in enumerate(self.tuples):
+            if self.matches(pattern, candidate):
+                if remove:
+                    del self.tuples[index]
+                return candidate
+        return None
+
+
+def tuple_server(env, n_clients: int):
+    """The tuple-space server process: serves channels named linda-<i>."""
+    space = TupleSpace()
+    channels = []
+    for i in range(n_clients):
+        ch = yield from env.open(f"linda-{i}")
+        channels.append(ch)
+    live = set(range(n_clients))
+    while live:
+        ch, _, request = yield from env.read_any(
+            [channels[i] for i in sorted(live)]
+        )
+        client = channels.index(ch)
+        op, arg = request
+        if op == "bye":
+            live.discard(client)
+            continue
+        if op == "out":
+            hit = space.out(tuple(arg))
+            yield from env.write(ch, 8, payload="ok")
+            if hit is not None:
+                waiter_ch, tup = hit
+                yield from env.write(waiter_ch, TUPLE_BYTES, payload=tup)
+        else:  # "in" / "rd"
+            found = space.take(tuple(arg), remove=(op == "in"))
+            if found is not None:
+                yield from env.write(ch, TUPLE_BYTES, payload=found)
+            else:
+                space.waiters.append((tuple(arg), ch, op == "in"))
+    return space.ops
+
+
+class LindaClient:
+    """Client-side helper wrapping the channel protocol."""
+
+    def __init__(self, env, index: int) -> None:
+        self.env = env
+        self.index = index
+        self.channel = None
+
+    def connect(self):
+        self.channel = yield from self.env.open(f"linda-{self.index}")
+
+    def out(self, tup: tuple):
+        yield from self.env.write(self.channel, TUPLE_BYTES,
+                                  payload=("out", tup))
+        yield from self.env.read(self.channel)  # "ok"
+
+    def in_(self, pattern: tuple):
+        yield from self.env.write(self.channel, TUPLE_BYTES,
+                                  payload=("in", pattern))
+        _, tup = yield from self.env.read(self.channel)
+        return tup
+
+    def rd(self, pattern: tuple):
+        yield from self.env.write(self.channel, TUPLE_BYTES,
+                                  payload=("rd", pattern))
+        _, tup = yield from self.env.read(self.channel)
+        return tup
+
+    def bye(self):
+        yield from self.env.write(self.channel, 8, payload=("bye", None))
+
+
+@dataclass(frozen=True)
+class TupleSpaceResult:
+    n_workers: int
+    n_tasks: int
+    results: dict
+    elapsed_us: float
+    server_ops: dict
+
+
+def run_linda(n_workers: int = 3, n_tasks: int = 12,
+              work_us: float = 2_000.0) -> TupleSpaceResult:
+    """Master/worker over the tuple space: square some integers."""
+    system = VorxSystem(n_nodes=n_workers + 2)
+    results: dict = {}
+
+    def master(env):
+        client = LindaClient(env, 0)
+        yield from client.connect()
+        for task in range(n_tasks):
+            yield from client.out(("task", task))
+        for _ in range(n_tasks):
+            tup = yield from client.in_(("result", None, None))
+            results[tup[1]] = tup[2]
+        # Poison pills.
+        for _ in range(n_workers):
+            yield from client.out(("task", -1))
+        yield from client.bye()
+
+    def worker(env, index):
+        client = LindaClient(env, index)
+        yield from client.connect()
+        while True:
+            tup = yield from client.in_(("task", None))
+            task = tup[1]
+            if task == -1:
+                break
+            yield from env.compute(work_us, label="square")
+            yield from client.out(("result", task, task * task))
+        yield from client.bye()
+
+    server = system.spawn(0, lambda env: tuple_server(env, n_workers + 1),
+                          name="tuple-server")
+    jobs = [system.spawn(1, master, name="master")]
+    for w in range(n_workers):
+        jobs.append(
+            system.spawn(2 + w, lambda env, w=w: worker(env, w + 1),
+                         name=f"worker{w}")
+        )
+    system.run_until_complete(jobs + [server])
+    return TupleSpaceResult(
+        n_workers=n_workers,
+        n_tasks=n_tasks,
+        results=dict(results),
+        elapsed_us=system.sim.now,
+        server_ops=server.result,
+    )

@@ -1,0 +1,193 @@
+"""A Rapport-style multimedia conference (paper Section 1).
+
+*"Applications implemented on HPC/VORX range from the Rapport multimedia
+conferencing system to several circuit simulators.  Because HPC/VORX
+allows high performance communications with workstations, it can be used
+to experiment with applications such as multimedia conferencing between
+workstations, with real-time video and high-fidelity audio transmission
+between conferees."*
+
+The model conference: ``n`` workstation conferees plus one processing
+node acting as the audio mixer -- a single application spanning many
+workstations *and* the node pool, which is the local-area-multicomputer
+pitch.  Audio frames (64-byte, 8 ms period, 8 kHz u-law-ish) flow
+conferee -> mixer over user-defined objects with no flow control (late
+audio is useless; the hardware's reliability is enough); the mixer sums
+them and sends one mixed frame back to every conferee.  Video tiles
+stream directly workstation-to-workstation, bitmap-style.
+
+Every frame is timestamped at capture, so end-to-end latencies are
+measured, and the run verifies the real-time property the paper brags
+about: mixed audio arrives within a few frame periods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.costs import CostModel, DEFAULT_COSTS
+from repro.vorx.system import VorxSystem
+
+#: One audio frame: 8 ms of 8 kHz u-law audio.
+AUDIO_FRAME_BYTES = 64
+AUDIO_PERIOD_US = 8_000.0
+#: Per-conferee mixing cost per frame (sum + gain on a 68020).
+MIX_US_PER_CONFEREE = 25.0
+#: One small video tile per period (scaled for simulation speed).
+VIDEO_TILE_BYTES = 8 * 1024
+VIDEO_PERIOD_US = 100_000.0
+
+
+@dataclass
+class RapportResult:
+    n_conferees: int
+    duration_us: float
+    audio_frames_captured: int
+    mixed_frames_delivered: int
+    audio_latencies_us: list[float] = field(default_factory=list)
+    video_tiles_delivered: int = 0
+
+    @property
+    def mean_audio_latency_us(self) -> float:
+        if not self.audio_latencies_us:
+            return float("inf")
+        return sum(self.audio_latencies_us) / len(self.audio_latencies_us)
+
+    @property
+    def max_audio_latency_us(self) -> float:
+        return max(self.audio_latencies_us, default=float("inf"))
+
+    @property
+    def delivery_ratio(self) -> float:
+        expected = self.audio_frames_captured  # one mixed frame per capture
+        return self.mixed_frames_delivered / expected if expected else 0.0
+
+    @property
+    def realtime_ok(self) -> bool:
+        """Mixed audio within four frame periods, nothing lost."""
+        return (
+            self.max_audio_latency_us < 4 * AUDIO_PERIOD_US
+            and self.delivery_ratio > 0.95
+        )
+
+
+def run_rapport(
+    n_conferees: int = 4,
+    n_rounds: int = 25,
+    costs: CostModel = DEFAULT_COSTS,
+) -> RapportResult:
+    """Run the conference for ``n_rounds`` audio periods."""
+    if n_conferees < 2:
+        raise ValueError(f"a conference needs at least 2 parties, got "
+                         f"{n_conferees}")
+    system = VorxSystem(n_nodes=1, n_workstations=n_conferees, costs=costs)
+    result = RapportResult(
+        n_conferees=n_conferees,
+        duration_us=0.0,
+        audio_frames_captured=0,
+        mixed_frames_delivered=0,
+    )
+
+    def mixer(env):
+        pending: dict[int, list] = {i: [] for i in range(n_conferees)}
+        frames_ready = env.semaphore(0, name="frames")
+
+        def audio_handler(packet):
+            yield env.kernel.isr_exec(costs.ud_recv)
+            conferee, stamp = packet.payload
+            pending[conferee].append(stamp)
+            frames_ready.v()
+
+        uplinks = []
+        for i in range(n_conferees):
+            obj = yield from env.create_object(f"audio-up-{i}",
+                                               handler=audio_handler)
+            uplinks.append(obj)
+        downlinks = []
+        for i in range(n_conferees):
+            obj = yield from env.create_object(f"audio-down-{i}")
+            downlinks.append(obj)
+        mixed = 0
+        while mixed < n_rounds:
+            # Wait for a full round: one frame from every conferee.
+            for _ in range(n_conferees):
+                yield from env.p(frames_ready)
+            stamps = [pending[i].pop(0) for i in range(n_conferees)]
+            yield from env.compute(MIX_US_PER_CONFEREE * n_conferees,
+                                   label="mix")
+            oldest = min(stamps)
+            for obj in downlinks:
+                yield from env.obj_send(obj, AUDIO_FRAME_BYTES,
+                                        payload=oldest)
+            mixed += 1
+
+    def conferee(env, me):
+        got_mixed = env.semaphore(0, name="mixed")
+        latencies: list[float] = []
+
+        def mixed_handler(packet):
+            yield env.kernel.isr_exec(costs.ud_recv)
+            latencies.append(env.now - packet.payload)
+            got_mixed.v()
+
+        def video_handler(packet):
+            # Straight to the frame buffer, bitmap-style.
+            yield env.kernel.isr_exec(costs.copy_time(packet.size))
+            if packet.payload == "tile-end":
+                result.video_tiles_delivered += 1
+
+        up = yield from env.create_object(f"audio-up-{me}")
+        down = yield from env.create_object(f"audio-down-{me}",
+                                            handler=mixed_handler)
+        # Video ring: rendezvous order alternates by parity so the
+        # (blocking) creations cannot form a circular wait.
+        out_name = f"video-{me}-to-{(me + 1) % n_conferees}"
+        in_name = f"video-{(me - 1) % n_conferees}-to-{me}"
+        if me % 2 == 0:
+            video_out = yield from env.create_object(out_name)
+            video_in = yield from env.create_object(in_name,
+                                                    handler=video_handler)
+        else:
+            video_in = yield from env.create_object(in_name,
+                                                    handler=video_handler)
+            video_out = yield from env.create_object(out_name)
+        chunk = costs.hpc_max_message
+        next_video = VIDEO_PERIOD_US
+        for round_index in range(n_rounds):
+            # Capture + send one audio frame.
+            yield from env.compute(30.0, label="capture")
+            result.audio_frames_captured += 0 if me else 1  # count rounds once
+            yield from env.obj_send(up, AUDIO_FRAME_BYTES,
+                                    payload=(me, env.now))
+            # Stream a video tile every VIDEO_PERIOD.
+            if env.now >= next_video:
+                next_video += VIDEO_PERIOD_US
+                remaining = VIDEO_TILE_BYTES
+                while remaining > 0:
+                    this = min(remaining, chunk)
+                    remaining -= this
+                    yield from env.obj_send(
+                        video_out, this,
+                        payload="tile-end" if remaining == 0 else None,
+                    )
+            # Pace to the audio period.
+            yield from env.sleep(AUDIO_PERIOD_US)
+        # Drain the remaining mixed frames for accounting.
+        while len(latencies) < n_rounds:
+            yield from env.p(got_mixed)
+        result.audio_latencies_us.extend(latencies)
+        result.mixed_frames_delivered += len(latencies)
+
+    jobs = [system.node(0).spawn(mixer, name="mixer")]
+    for i in range(n_conferees):
+        jobs.append(
+            system.workstation(i).spawn(
+                lambda env, i=i: conferee(env, i), name=f"conferee{i}"
+            )
+        )
+    system.run_until_complete(jobs)
+    result.duration_us = system.sim.now
+    # One mixed frame per round should reach every conferee.
+    result.audio_frames_captured = n_rounds * n_conferees
+    result.mixed_frames_delivered = len(result.audio_latencies_us)
+    return result

@@ -1,0 +1,152 @@
+"""Real-time device control with prioritised subprocesses (Section 5).
+
+*"Subprocesses were originally included for real-time applications that
+controlled hardware devices, such as robot arms and cameras connected to
+the processing nodes.  Because distinct execution priorities can be
+specified for each subprocess and the scheduler is preemptive, the
+programmer had enough control over switching between and scheduling of
+subprocesses to be able to effectively implement real-time
+applications."*
+
+The experiment: one node runs a PD control loop for a simulated
+one-joint arm (real physics, integrated every sensor period) alongside a
+compute-hungry background subprocess (trajectory planning churn).  With
+the control subprocess at a *higher* priority the preemptive scheduler
+keeps sample-to-torque latency tiny and the arm tracks its setpoint;
+with *equal* priorities the control loop queues behind the background's
+compute bursts, deadlines slip, and tracking degrades -- exactly the
+property the paper credits to the scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hpc.message import MessageKind, Packet
+from repro.model.costs import CostModel, DEFAULT_COSTS
+from repro.vorx.system import VorxSystem
+
+#: Sensor sampling / control period.
+CONTROL_PERIOD_US = 1_500.0
+#: CPU cost of one control-law evaluation.
+CONTROL_LAW_US = 250.0
+#: Background planning runs in bursts of this much CPU.
+BACKGROUND_BURST_US = 2_200.0
+#: Arm plant parameters (1-joint, normalised units).
+INERTIA = 1.0
+FRICTION = 0.4
+KP = 400.0
+KD = 40.0
+
+
+@dataclass
+class Arm:
+    """The physical plant: a one-joint arm integrated per period."""
+
+    angle: float = 0.0
+    velocity: float = 0.0
+    torque: float = 0.0
+
+    def step(self, dt_seconds: float) -> None:
+        acceleration = (self.torque - FRICTION * self.velocity) / INERTIA
+        self.velocity += acceleration * dt_seconds
+        self.angle += self.velocity * dt_seconds
+
+
+@dataclass
+class RobotResult:
+    samples: int
+    control_priority: int
+    background_priority: int
+    latencies_us: list[float] = field(default_factory=list)
+    final_angle: float = 0.0
+    setpoint: float = 1.0
+    tracking_error: float = 0.0  # mean |angle - setpoint| over the run
+
+    @property
+    def deadline_misses(self) -> int:
+        """Samples whose torque landed later than one control period."""
+        return sum(1 for lat in self.latencies_us if lat > CONTROL_PERIOD_US)
+
+    @property
+    def max_latency_us(self) -> float:
+        return max(self.latencies_us, default=0.0)
+
+    @property
+    def mean_latency_us(self) -> float:
+        if not self.latencies_us:
+            return 0.0
+        return sum(self.latencies_us) / len(self.latencies_us)
+
+
+def run_robot_control(
+    samples: int = 200,
+    control_priority: int = 0,
+    background_priority: int = 10,
+    setpoint: float = 1.0,
+    costs: CostModel = DEFAULT_COSTS,
+) -> RobotResult:
+    """Run the arm for ``samples`` control periods.
+
+    ``control_priority == background_priority`` reproduces the failure
+    mode the preemptive priority scheduler exists to prevent.
+    """
+    system = VorxSystem(n_nodes=1, costs=costs)
+    kernel = system.node(0)
+    arm = Arm()
+    result = RobotResult(
+        samples=samples,
+        control_priority=control_priority,
+        background_priority=background_priority,
+        setpoint=setpoint,
+    )
+    errors: list[float] = []
+    done = {"flag": False}
+
+    def control(env):
+        sample_ready = env.semaphore(0, name="sensor")
+        latest: list = []
+
+        def sensor_isr(packet):
+            yield env.kernel.isr_exec(costs.ud_recv)
+            latest.append(packet.payload)
+            sample_ready.v()
+
+        obj = yield from env.create_object(handler=sensor_isr)
+        # The device "hardware": delivers one sensor interrupt per period
+        # and advances the plant with whatever torque is currently set.
+        def device():
+            for index in range(samples):
+                yield env.kernel.sim.timeout(CONTROL_PERIOD_US)
+                arm.step(CONTROL_PERIOD_US / 1e6)
+                errors.append(abs(arm.angle - setpoint))
+                packet = Packet(
+                    src=999, dst=kernel.address, size=16,
+                    kind=MessageKind.USER_OBJECT, channel=obj.oid,
+                    payload=(env.kernel.sim.now, arm.angle, arm.velocity),
+                )
+                # Deliver straight into the interface (device DMA).
+                yield kernel.iface.rx.reserve()
+                kernel.iface.rx.deliver(packet)
+                kernel.iface.packets_received += 1
+
+        env.kernel.sim.process(device())
+        for _ in range(samples):
+            yield from env.p(sample_ready)
+            stamped_at, angle, velocity = latest.pop(0)
+            yield from env.compute(CONTROL_LAW_US, label="control-law")
+            arm.torque = KP * (setpoint - angle) + KD * (-velocity)
+            result.latencies_us.append(env.now - stamped_at)
+        done["flag"] = True
+
+    def background(env):
+        while not done["flag"]:
+            yield from env.compute(BACKGROUND_BURST_US, label="planning")
+
+    kernel.spawn(control, name="control", priority=control_priority)
+    kernel.spawn(background, name="planner", priority=background_priority)
+    horizon = (samples + 5) * CONTROL_PERIOD_US + 100_000.0
+    system.run(until=horizon)
+    result.final_angle = arm.angle
+    result.tracking_error = sum(errors) / len(errors) if errors else 0.0
+    return result

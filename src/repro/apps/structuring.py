@@ -1,0 +1,214 @@
+"""Program structuring techniques compared (paper Section 5).
+
+The paper describes four ways to structure a node's work when the 80 us
+context switch is too expensive:
+
+1. **subprocesses** -- the standard structure: one input, one compute,
+   one output subprocess coordinated by semaphores; every hand-off costs
+   a context switch.
+2. **polling** -- a single subprocess that never switches: interrupts
+   disabled, user-defined objects polled at convenient places (the
+   parallel-SPICE structure).
+3. **coroutines** -- multiple threads of control within one subprocess;
+   switches happen at well-defined call sites so only live registers are
+   saved (CEMU's structure).
+4. **interrupt-level** -- the whole computation in interrupt service
+   routines; the subprocess suspends itself and never runs again.
+
+:func:`run_structuring` drives the same stream workload (receive a
+message, compute on it, emit a result) through each structure and
+reports per-message cost and context-switch counts -- experiment E11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.costs import CostModel, DEFAULT_COSTS
+from repro.vorx.system import VorxSystem
+
+#: Computation per message in the stream workload.
+WORK_US = 40.0
+
+STRUCTURES = ("subprocesses", "polling", "coroutines", "interrupt-level")
+
+
+@dataclass(frozen=True)
+class StructuringResult:
+    structure: str
+    n_messages: int
+    us_per_message: float
+    context_switches: int
+
+
+def run_structuring(
+    structure: str,
+    n_messages: int = 200,
+    costs: CostModel = DEFAULT_COSTS,
+) -> StructuringResult:
+    """Run the stream workload under one Section 5 program structure."""
+    if structure not in STRUCTURES:
+        raise ValueError(f"unknown structure {structure!r}; pick from {STRUCTURES}")
+    system = VorxSystem(n_nodes=2, costs=costs)
+    state: dict = {}
+
+    def producer(env):
+        results = env.semaphore(0, name="results")
+
+        def on_result(packet):
+            yield env.kernel.isr_exec(costs.ud_recv)
+            results.v()
+
+        obj = yield from env.create_object("stream", handler=on_result)
+        state["t0"] = env.now
+        for _ in range(n_messages):
+            yield from env.obj_send(obj, 64)
+            # Paced sender: wait for the result before the next item so
+            # the receiver's per-message structure cost is what we time.
+            yield from env.p(results)
+        state["elapsed"] = env.now - state["t0"]
+
+    # ------------------------------------------------------------------
+    if structure == "subprocesses":
+
+        def consumer(env):
+            arrivals = env.semaphore(0, name="in")
+            computed = env.semaphore(0, name="mid")
+            emitted = env.semaphore(0, name="out")
+
+            def on_data(packet):
+                yield env.kernel.isr_exec(costs.ud_recv)
+                arrivals.v()
+
+            obj = yield from env.create_object("stream", handler=on_data)
+
+            def input_sp(env2):
+                for _ in range(n_messages):
+                    yield from env2.p(arrivals)
+                    yield from env2.compute(4.0, label="input")
+                    yield from env2.v(computed)
+
+            def compute_sp(env2):
+                for _ in range(n_messages):
+                    yield from env2.p(computed)
+                    yield from env2.compute(WORK_US, label="work")
+                    yield from env2.v(emitted)
+
+            def output_sp(env2):
+                for _ in range(n_messages):
+                    yield from env2.p(emitted)
+                    yield from env2.obj_send(obj, 64)
+
+            sps = [
+                env.spawn(input_sp, name="input"),
+                env.spawn(compute_sp, name="compute"),
+                env.spawn(output_sp, name="output"),
+            ]
+            for sp in sps:
+                yield from env.join(sp)
+
+    elif structure == "polling":
+
+        def consumer(env):
+            obj = yield from env.create_object("stream")
+            env.disable_interrupts()
+            for _ in range(n_messages):
+                while True:
+                    packet = yield from env.obj_poll(obj)
+                    if packet is not None:
+                        break
+                yield from env.compute(WORK_US, label="work")
+                yield from env.obj_send(obj, 64)
+
+    elif structure == "coroutines":
+
+        def consumer(env):
+            arrivals = env.semaphore(0, name="in")
+
+            def on_data(packet):
+                yield env.kernel.isr_exec(costs.ud_recv)
+                arrivals.v()
+
+            obj = yield from env.create_object("stream", handler=on_data)
+            # Three coroutines in one subprocess: switches are explicit
+            # and cheap (only the live registers are saved).
+            for _ in range(n_messages):
+                yield from env.p(arrivals)  # input coroutine
+                yield from env.compute(costs.coroutine_switch, label="cswitch")
+                yield from env.compute(WORK_US, label="work")  # compute co.
+                yield from env.compute(costs.coroutine_switch, label="cswitch")
+                yield from env.obj_send(obj, 64)  # output coroutine
+                yield from env.compute(costs.coroutine_switch, label="cswitch")
+
+    else:  # interrupt-level
+
+        def consumer(env):
+            done = env.semaphore(0, name="done")
+            count = {"n": 0}
+            obj_box: dict = {}
+
+            def on_data(packet):
+                # The entire computation happens in the ISR; no process
+                # is ever resumed per message.
+                yield env.kernel.isr_exec(costs.ud_recv + WORK_US)
+                yield from env.kernel.objects.send(obj_box["obj"], 64)
+                count["n"] += 1
+                if count["n"] == n_messages:
+                    done.v()
+
+            obj = yield from env.create_object("stream", handler=on_data)
+            obj_box["obj"] = obj
+            # "a single subprocess starts ... interrupt service routines
+            # and then suspends itself."
+            yield from env.p(done)
+
+    # ------------------------------------------------------------------
+    tx = system.spawn(0, producer, name="producer")
+    rx = system.spawn(1, consumer, name="consumer")
+    system.run_until_complete([tx, rx])
+    return StructuringResult(
+        structure=structure,
+        n_messages=n_messages,
+        us_per_message=state["elapsed"] / n_messages,
+        context_switches=system.node(1).context_switches,
+    )
+
+
+def measure_context_switch(costs: CostModel = DEFAULT_COSTS,
+                           rounds: int = 100) -> float:
+    """Micro-benchmark the context switch itself (paper: 80 us).
+
+    Two subprocesses on one node V each other's semaphore in a tight
+    loop: each half-cycle is one block/wake, i.e. one full switch plus
+    the semaphore operations; subtracting the known semaphore costs
+    leaves the switch.
+    """
+    system = VorxSystem(n_nodes=1, costs=costs)
+    state: dict = {}
+
+    def driver(env):
+        ping = env.semaphore(0, name="ping")
+        pong = env.semaphore(0, name="pong")
+
+        def a(env2):
+            t0 = env2.now
+            for _ in range(rounds):
+                yield from env2.v(ping)
+                yield from env2.p(pong)
+            state["elapsed"] = env2.now - t0
+
+        def b(env2):
+            for _ in range(rounds):
+                yield from env2.p(ping)
+                yield from env2.v(pong)
+
+        sa = env.spawn(a, name="a")
+        sb = env.spawn(b, name="b")
+        yield from env.join(sa)
+        yield from env.join(sb)
+
+    sp = system.spawn(0, driver, name="driver")
+    system.run_until_complete([sp])
+    per_half_cycle = state["elapsed"] / rounds / 2.0
+    overhead = 2 * system.costs.semaphore_op + system.costs.wakeup_overhead
+    return per_half_cycle - overhead

@@ -1,0 +1,18 @@
+"""Benchmark harness: experiment runners and paper-comparison reporting.
+
+Every table and figure in the paper has a runner in
+:mod:`repro.bench.experiments` that regenerates it on the simulator and
+returns a structured result; :mod:`repro.bench.harness` formats those as
+paper-versus-measured tables.  The ``benchmarks/`` pytest-benchmark suite
+and ``scripts/run_experiments.py`` (which writes EXPERIMENTS.md) are thin
+wrappers over this package.
+"""
+
+from repro.bench.harness import (
+    Comparison,
+    ComparisonTable,
+    format_table,
+    within,
+)
+
+__all__ = ["Comparison", "ComparisonTable", "format_table", "within"]

@@ -1,0 +1,122 @@
+"""Formatting and comparison helpers for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Plain-text table with right-aligned numeric columns."""
+    rendered = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) if _numeric(cell) else
+                      cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def _numeric(cell: str) -> bool:
+    try:
+        float(cell)
+        return True
+    except ValueError:
+        return False
+
+
+def within(measured: float, paper: float, tolerance: float) -> bool:
+    """Is ``measured`` within ``tolerance`` (fractional) of ``paper``?"""
+    if paper == 0:
+        return measured == 0
+    return abs(measured - paper) / abs(paper) <= tolerance
+
+
+@dataclass
+class Comparison:
+    """One paper-vs-measured data point."""
+
+    label: str
+    paper: float
+    measured: float
+    unit: str = ""
+
+    @property
+    def deviation(self) -> float:
+        """Fractional deviation from the paper's value."""
+        if self.paper == 0:
+            return 0.0 if self.measured == 0 else float("inf")
+        return (self.measured - self.paper) / self.paper
+
+    def row(self) -> list:
+        return [
+            self.label,
+            f"{self.paper:g}",
+            f"{self.measured:.1f}",
+            self.unit,
+            f"{100 * self.deviation:+.1f}%",
+        ]
+
+
+@dataclass
+class ComparisonTable:
+    """A titled collection of paper-vs-measured comparisons."""
+
+    title: str
+    comparisons: list[Comparison] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, label: str, paper: float, measured: float,
+            unit: str = "") -> Comparison:
+        comparison = Comparison(label, paper, measured, unit)
+        self.comparisons.append(comparison)
+        return comparison
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def worst_deviation(self) -> float:
+        return max(
+            (abs(c.deviation) for c in self.comparisons), default=0.0
+        )
+
+    def format(self) -> str:
+        body = format_table(
+            ["measurement", "paper", "measured", "unit", "dev"],
+            [c.row() for c in self.comparisons],
+        )
+        parts = [self.title, "=" * len(self.title), body]
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def markdown(self) -> str:
+        """GitHub-flavoured markdown for EXPERIMENTS.md."""
+        lines = [
+            f"### {self.title}",
+            "",
+            "| measurement | paper | measured | unit | deviation |",
+            "|---|---:|---:|---|---:|",
+        ]
+        for c in self.comparisons:
+            lines.append(
+                f"| {c.label} | {c.paper:g} | {c.measured:.1f} | {c.unit} "
+                f"| {100 * c.deviation:+.1f}% |"
+            )
+        for note in self.notes:
+            lines.append(f"\n*{note}*")
+        return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""The host (SunOS-like) environment substrate (paper Section 3.3).
+
+Host workstations provide the UNIX environment that node processes see
+through their stub: a filesystem, per-process file descriptor tables with
+SunOS's 32-descriptor limit, and blocking system call semantics.  Both of
+the paper's stub pathologies live here: a blocking call stalls every
+process sharing a stub, and a shared stub's 32 descriptors are split
+across all its processes.
+"""
+
+from repro.hostos.filesystem import FileSystem, FileSystemError
+from repro.hostos.unix import HostProcess, EMFILE, EBADF, ENOENT
+
+__all__ = [
+    "FileSystem",
+    "FileSystemError",
+    "HostProcess",
+    "EMFILE",
+    "EBADF",
+    "ENOENT",
+]

@@ -1,0 +1,69 @@
+"""A small in-memory UNIX-ish filesystem for the host workstations.
+
+Holds file contents as bytes so forwarded system calls are functionally
+real: a node process that writes a log through its stub can read it back.
+Paths are flat strings with '/' separators; directories are implicit.
+"""
+
+from __future__ import annotations
+
+
+class FileSystemError(Exception):
+    """Filesystem-level failure (missing file, bad path)."""
+
+
+class FileSystem:
+    """Flat in-memory filesystem shared by all stubs on one host."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, bytearray] = {}
+
+    # -- namespace -----------------------------------------------------------
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def create(self, path: str, data: bytes = b"") -> None:
+        """Create (or truncate) a file."""
+        self._validate_path(path)
+        self._files[path] = bytearray(data)
+
+    def unlink(self, path: str) -> None:
+        try:
+            del self._files[path]
+        except KeyError:
+            raise FileSystemError(f"no such file: {path}") from None
+
+    def listdir(self, prefix: str = "") -> list[str]:
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def size(self, path: str) -> int:
+        return len(self._file(path))
+
+    # -- data ---------------------------------------------------------------
+    def read(self, path: str, offset: int, nbytes: int) -> bytes:
+        data = self._file(path)
+        if offset < 0:
+            raise FileSystemError(f"negative offset: {offset}")
+        return bytes(data[offset : offset + nbytes])
+
+    def write(self, path: str, offset: int, payload: bytes) -> int:
+        data = self._file(path)
+        if offset < 0:
+            raise FileSystemError(f"negative offset: {offset}")
+        end = offset + len(payload)
+        if end > len(data):
+            data.extend(b"\0" * (end - len(data)))
+        data[offset:end] = payload
+        return len(payload)
+
+    # -- internals -------------------------------------------------------------
+    def _file(self, path: str) -> bytearray:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileSystemError(f"no such file: {path}") from None
+
+    @staticmethod
+    def _validate_path(path: str) -> None:
+        if not path or path.endswith("/"):
+            raise FileSystemError(f"bad path: {path!r}")

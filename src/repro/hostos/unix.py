@@ -1,0 +1,107 @@
+"""Host process semantics: file descriptor tables and errno-style errors.
+
+A :class:`HostProcess` models one SunOS process (a stub, in this
+reproduction): an fd table limited to
+:data:`FD_LIMIT_DEFAULT` open descriptors -- the Section 3.3 limit that
+caps "32 open files for all the processes of an application combined"
+when they share one stub.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hostos.filesystem import FileSystem, FileSystemError
+
+#: errno-style failure tags returned through SYSCALL_REPLY messages.
+EMFILE = "EMFILE"  # fd table full
+EBADF = "EBADF"  # bad file descriptor
+ENOENT = "ENOENT"  # no such file
+
+#: SunOS's per-process open file limit (paper Section 3.3).
+FD_LIMIT_DEFAULT = 32
+
+
+@dataclass
+class OpenFile:
+    path: str
+    offset: int = 0
+    writable: bool = False
+
+
+class HostProcess:
+    """One host process's kernel-side state (fd table over a filesystem)."""
+
+    def __init__(
+        self,
+        name: str,
+        filesystem: FileSystem,
+        fd_limit: int = FD_LIMIT_DEFAULT,
+    ) -> None:
+        if fd_limit < 1:
+            raise ValueError(f"fd limit must be >= 1, got {fd_limit}")
+        self.name = name
+        self.fs = filesystem
+        self.fd_limit = fd_limit
+        self._fds: dict[int, OpenFile] = {}
+        self._next_fd = 3  # 0..2 are stdio
+
+    # -- descriptor management ------------------------------------------------
+    @property
+    def open_fds(self) -> int:
+        return len(self._fds)
+
+    def open(self, path: str, mode: str = "r") -> int:
+        """Open a file; returns an fd or raises an errno-tagged OSError."""
+        if self.open_fds >= self.fd_limit - 3:  # stdio counts against us
+            raise OSError(EMFILE, f"{self.name}: too many open files")
+        if mode not in ("r", "w", "a", "rw"):
+            raise ValueError(f"bad open mode {mode!r}")
+        writable = mode != "r"
+        if not self.fs.exists(path):
+            if not writable:
+                raise OSError(ENOENT, f"no such file: {path}")
+            self.fs.create(path)
+        offset = self.fs.size(path) if mode == "a" else 0
+        fd = self._next_fd
+        self._next_fd += 1
+        self._fds[fd] = OpenFile(path, offset, writable)
+        return fd
+
+    def close(self, fd: int) -> None:
+        if fd not in self._fds:
+            raise OSError(EBADF, f"bad fd {fd}")
+        del self._fds[fd]
+
+    def close_all(self) -> None:
+        self._fds.clear()
+
+    # -- I/O ------------------------------------------------------------------
+    def read(self, fd: int, nbytes: int) -> bytes:
+        entry = self._entry(fd)
+        try:
+            data = self.fs.read(entry.path, entry.offset, nbytes)
+        except FileSystemError as exc:
+            raise OSError(ENOENT, str(exc)) from None
+        entry.offset += len(data)
+        return data
+
+    def write(self, fd: int, payload: bytes) -> int:
+        entry = self._entry(fd)
+        if not entry.writable:
+            raise OSError(EBADF, f"fd {fd} is read-only")
+        written = self.fs.write(entry.path, entry.offset, payload)
+        entry.offset += written
+        return written
+
+    def seek(self, fd: int, offset: int) -> None:
+        entry = self._entry(fd)
+        if offset < 0:
+            raise OSError(EBADF, f"negative seek: {offset}")
+        entry.offset = offset
+
+    def _entry(self, fd: int) -> OpenFile:
+        try:
+            return self._fds[fd]
+        except KeyError:
+            raise OSError(EBADF, f"bad fd {fd}") from None

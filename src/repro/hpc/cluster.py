@@ -1,0 +1,89 @@
+"""Twelve-port self-routing star clusters (paper Section 1).
+
+Each cluster forwards messages from its input ports to output ports
+according to a routing table computed by :mod:`repro.hpc.topology`.
+Forwarding is store-and-forward at message granularity: an input buffer is
+held until the message has been fully accepted by the next link, and
+multiple inputs contending for one output are serviced in FIFO order
+(fair hardware scheduling).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.hpc.port import BufferedInput
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.model.costs import CostModel
+    from repro.hpc.link import Link
+    from repro.hpc.message import Packet
+
+#: Ports per cluster (paper Section 1).
+PORTS_PER_CLUSTER = 12
+
+
+class Cluster:
+    """A self-routing star with :data:`PORTS_PER_CLUSTER` ports."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        costs: "CostModel",
+        cluster_id: int,
+        n_ports: int = PORTS_PER_CLUSTER,
+    ) -> None:
+        if n_ports < 2:
+            raise ValueError(f"a cluster needs at least 2 ports, got {n_ports}")
+        self.sim = sim
+        self.costs = costs
+        self.cluster_id = cluster_id
+        self.n_ports = n_ports
+        #: Input sections, one per port.
+        self.inputs = [
+            BufferedInput(sim, costs.hpc_port_buffers, f"c{cluster_id}.in{p}")
+            for p in range(n_ports)
+        ]
+        #: Outgoing links, one per wired port (None if unwired).
+        self.out_links: list[Optional["Link"]] = [None] * n_ports
+        #: destination address -> output port index.
+        self.routing: dict[int, int] = {}
+        #: Messages forwarded, for statistics.
+        self.messages_forwarded = 0
+        for port in range(n_ports):
+            sim.process(self._forward(port))
+
+    def wired_ports(self) -> list[int]:
+        """Indices of ports with an outgoing link attached."""
+        return [p for p, link in enumerate(self.out_links) if link is not None]
+
+    def route_port(self, dst: int) -> int:
+        """The output port for destination address ``dst``."""
+        try:
+            return self.routing[dst]
+        except KeyError:
+            raise KeyError(
+                f"cluster {self.cluster_id} has no route to address {dst}"
+            ) from None
+
+    def _forward(self, port: int):
+        """Forwarding engine for one input port."""
+        source = self.inputs[port]
+        while True:
+            packet = yield source.get()
+            out_port = self.route_port(packet.dst)
+            link = self.out_links[out_port]
+            if link is None:
+                raise RuntimeError(
+                    f"cluster {self.cluster_id}: route for {packet.dst} uses "
+                    f"unwired port {out_port}"
+                )
+            # Store-and-forward: hold our input buffer until the next hop
+            # has accepted the whole message, then free it.
+            yield link.send(packet)
+            source.free()
+            self.messages_forwarded += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Cluster {self.cluster_id} ports={self.n_ports}>"

@@ -1,0 +1,77 @@
+"""Unidirectional HPC links.
+
+A link connects the output section of one port to the input section of
+another (node-to-cluster, cluster-to-cluster, or cluster-to-workstation;
+both directions of a physical fibre are independent 160 Mbit/s links,
+paper Section 1).  A link serializes one message at a time and implements
+the hardware flow control described in Section 2: it will not begin
+transmitting until the downstream input has a free whole-message buffer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.events import Event
+from repro.sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.model.costs import CostModel
+    from repro.hpc.message import Packet
+    from repro.hpc.port import BufferedInput
+
+
+class Link:
+    """One direction of a fibre: FIFO serializer with downstream reservation.
+
+    Senders call :meth:`send`; transmissions happen strictly in request
+    order (this is the "fair hardware scheduling" of Section 2 -- FIFO
+    service means every sender is eventually serviced).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        costs: "CostModel",
+        downstream: "BufferedInput",
+        name: str = "link",
+    ) -> None:
+        self.sim = sim
+        self.costs = costs
+        self.downstream = downstream
+        self.name = name
+        self._requests: Store = Store(sim)
+        #: Total messages carried (for fabric statistics).
+        self.messages_carried = 0
+        #: Total payload bytes carried.
+        self.bytes_carried = 0
+        #: Cumulative time spent actually serializing (for utilisation).
+        self.busy_time = 0.0
+        sim.process(self._pump())
+
+    def send(self, packet: "Packet") -> Event:
+        """Queue ``packet``; the event fires when it is in the downstream buffer."""
+        done = Event(self.sim)
+        self._requests.try_put((packet, done))
+        return done
+
+    @property
+    def queue_length(self) -> int:
+        """Transmissions waiting for the wire."""
+        return len(self._requests)
+
+    def _pump(self):
+        while True:
+            packet, done = yield self._requests.get()
+            # Hardware flow control: wait for a whole-message buffer
+            # downstream before occupying the wire.
+            yield self.downstream.reserve()
+            wire = self.costs.hpc_wire_time(packet.size) + self.costs.hpc_hop_latency
+            yield self.sim.timeout(wire)
+            self.busy_time += wire
+            self.messages_carried += 1
+            self.bytes_carried += packet.size
+            packet.hops += 1
+            self.downstream.deliver(packet)
+            done.succeed()

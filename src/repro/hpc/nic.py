@@ -1,0 +1,116 @@
+"""The processor's HPC interface (NIC).
+
+Models the port interface a processing node or workstation uses: a
+transmit queue feeding the node's outgoing link, a receive buffer with the
+same whole-message flow-control credits as every other input section, and
+a receive interrupt raised on message delivery.
+
+Time charging discipline: the NIC charges *wire* time only; all CPU time
+(copies between memory and the interface, interrupt overhead, protocol
+processing) is charged by the software layers (kernels, user-defined
+objects), matching the paper's observation that software latency dwarfs
+hardware latency.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.hpc.port import BufferedInput
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.model.costs import CostModel
+    from repro.hpc.link import Link
+    from repro.hpc.message import Packet
+
+
+class HPCInterface:
+    """One node's (or workstation's) connection to the HPC fabric."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        costs: "CostModel",
+        address: int,
+        name: Optional[str] = None,
+    ) -> None:
+        self.sim = sim
+        self.costs = costs
+        self.address = address
+        self.name = name or f"nic{address}"
+        #: Receive side: whole-message buffers with flow-control credits.
+        self.rx = BufferedInput(sim, costs.hpc_port_buffers, f"{self.name}.rx")
+        self.rx.on_deliver = self._rx_delivered
+        #: Outgoing link; wired by the topology builder.
+        self.link: Optional["Link"] = None
+        self._rx_interrupt: Optional[Callable[[], None]] = None
+        self.interrupts_enabled = True
+        self.packets_sent = 0
+        self.packets_received = 0
+
+    # -- transmit --------------------------------------------------------------
+    def send(self, packet: "Packet") -> Event:
+        """Inject a message; fires when the first hop has accepted it.
+
+        Raises if the packet exceeds the hardware's maximum message size
+        (Section 2: 1060 bytes) -- fragmentation is software's job.
+        """
+        if packet.size > self.costs.hpc_max_message:
+            raise ValueError(
+                f"packet of {packet.size} bytes exceeds the HPC maximum of "
+                f"{self.costs.hpc_max_message}; fragment it in software"
+            )
+        if self.link is None:
+            raise RuntimeError(f"{self.name} is not wired to the fabric")
+        if packet.src != self.address:
+            raise ValueError(
+                f"{self.name}: packet src {packet.src} != interface address "
+                f"{self.address}"
+            )
+        packet.sent_at = self.sim.now
+        self.packets_sent += 1
+        return self.link.send(packet)
+
+    @property
+    def tx_backlog(self) -> int:
+        """Messages queued on the outgoing link, waiting for the wire."""
+        return self.link.queue_length if self.link else 0
+
+    # -- receive -----------------------------------------------------------------
+    def set_rx_interrupt(self, handler: Optional[Callable[[], None]]) -> None:
+        """Install the receive-interrupt handler (None to remove)."""
+        self._rx_interrupt = handler
+
+    def _rx_delivered(self, packet: "Packet") -> None:
+        self.packets_received += 1
+        if self.interrupts_enabled and self._rx_interrupt is not None:
+            # Interrupt assertion is asynchronous w.r.t. the delivery.
+            self.sim.call_later(0.0, self._rx_interrupt)
+
+    @property
+    def rx_pending(self) -> int:
+        """Messages waiting in the receive buffer."""
+        return self.rx.pending
+
+    def read(self) -> Optional["Packet"]:
+        """Read one message out of the interface, freeing its buffer.
+
+        Returns ``None`` if nothing is pending.  The caller (kernel or
+        user-level ISR) is responsible for charging the copy time.
+        """
+        ok, packet = self.rx.try_get()
+        if not ok:
+            return None
+        self.rx.free()
+        return packet
+
+    def recv(self):
+        """Generator: wait for the next message, freeing its buffer."""
+        packet = yield self.rx.get()
+        self.rx.free()
+        return packet
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<HPCInterface {self.name} addr={self.address}>"

@@ -1,0 +1,282 @@
+"""Fabric construction: wiring clusters, nodes, and routing tables.
+
+Builders provided:
+
+* :func:`build_single_cluster` -- up to twelve endpoints on one cluster
+  (the paper's minimal system).
+* :func:`build_hypercube` -- clusters arranged as a (possibly incomplete)
+  hypercube [Katseff 88], the topology chosen for large HPC systems; the
+  1024-node flagship uses 256 clusters with 8 ports for dimensions and 4
+  for processing nodes (paper Section 1).
+* :func:`build_lam_system` -- a "typical local area multicomputer" as in
+  Figure 1: a pool of processing nodes plus host workstations.
+
+Routing is computed by breadth-first search over the cluster graph with
+deterministic port-order tie-breaking; on hypercubes this reproduces
+dimension-ordered (bit-fixing) routes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from repro.hpc.cluster import Cluster, PORTS_PER_CLUSTER
+from repro.hpc.link import Link
+from repro.hpc.nic import HPCInterface
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.model.costs import CostModel
+
+
+class Fabric:
+    """A wired HPC interconnect: clusters, interfaces, and routes."""
+
+    def __init__(self, sim: "Simulator", costs: "CostModel") -> None:
+        self.sim = sim
+        self.costs = costs
+        self.clusters: list[Cluster] = []
+        #: address -> interface
+        self.interfaces: dict[int, HPCInterface] = {}
+        #: address -> (cluster index, port) where the endpoint is attached
+        self.attachments: dict[int, tuple[int, int]] = {}
+        #: (cluster index, port) -> neighbour cluster index
+        self._cluster_edges: dict[tuple[int, int], int] = {}
+        self._next_address = 0
+
+    # -- construction -----------------------------------------------------
+    def add_cluster(self, n_ports: int = PORTS_PER_CLUSTER) -> Cluster:
+        cluster = Cluster(self.sim, self.costs, len(self.clusters), n_ports)
+        self.clusters.append(cluster)
+        return cluster
+
+    def new_interface(self, name: Optional[str] = None) -> HPCInterface:
+        """Create an endpoint interface with the next free address."""
+        address = self._next_address
+        self._next_address += 1
+        iface = HPCInterface(self.sim, self.costs, address, name)
+        self.interfaces[address] = iface
+        return iface
+
+    def attach(self, cluster: Cluster, port: int, iface: HPCInterface) -> None:
+        """Wire an endpoint to a cluster port (both directions)."""
+        self._check_port_free(cluster, port)
+        if iface.link is not None:
+            raise ValueError(f"{iface.name} is already attached")
+        iface.link = Link(
+            self.sim, self.costs, cluster.inputs[port],
+            f"{iface.name}->c{cluster.cluster_id}",
+        )
+        cluster.out_links[port] = Link(
+            self.sim, self.costs, iface.rx,
+            f"c{cluster.cluster_id}.p{port}->{iface.name}",
+        )
+        self.attachments[iface.address] = (cluster.cluster_id, port)
+
+    def connect_clusters(
+        self, a: Cluster, a_port: int, b: Cluster, b_port: int
+    ) -> None:
+        """Wire two clusters together (both directions)."""
+        self._check_port_free(a, a_port)
+        self._check_port_free(b, b_port)
+        a.out_links[a_port] = Link(
+            self.sim, self.costs, b.inputs[b_port],
+            f"c{a.cluster_id}.p{a_port}->c{b.cluster_id}",
+        )
+        b.out_links[b_port] = Link(
+            self.sim, self.costs, a.inputs[a_port],
+            f"c{b.cluster_id}.p{b_port}->c{a.cluster_id}",
+        )
+        self._cluster_edges[(a.cluster_id, a_port)] = b.cluster_id
+        self._cluster_edges[(b.cluster_id, b_port)] = a.cluster_id
+
+    def _check_port_free(self, cluster: Cluster, port: int) -> None:
+        if not 0 <= port < cluster.n_ports:
+            raise ValueError(
+                f"cluster {cluster.cluster_id} has no port {port} "
+                f"(0..{cluster.n_ports - 1})"
+            )
+        if cluster.out_links[port] is not None:
+            raise ValueError(
+                f"cluster {cluster.cluster_id} port {port} is already wired"
+            )
+
+    # -- routing -------------------------------------------------------------
+    def build_routes(self) -> None:
+        """Compute every cluster's destination -> output-port table.
+
+        BFS over the cluster graph from each cluster, visiting neighbours
+        in port order, yields deterministic shortest-hop routes
+        (dimension-ordered on hypercubes).
+        """
+        n = len(self.clusters)
+        # adjacency[c] = [(port, neighbour)] in port order
+        adjacency: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+        for (cid, port), neighbour in sorted(self._cluster_edges.items()):
+            adjacency[cid].append((port, neighbour))
+
+        for start in range(n):
+            # next_hop[c] = port to take *from start* toward cluster c.
+            next_hop: dict[int, int] = {start: -1}
+            frontier = deque([start])
+            first_port: dict[int, int] = {}
+            while frontier:
+                current = frontier.popleft()
+                for port, neighbour in adjacency[current]:
+                    if neighbour in next_hop:
+                        continue
+                    next_hop[neighbour] = port
+                    first_port[neighbour] = (
+                        port if current == start else first_port[current]
+                    )
+                    frontier.append(neighbour)
+            cluster = self.clusters[start]
+            for address, (home, attach_port) in self.attachments.items():
+                if home == start:
+                    cluster.routing[address] = attach_port
+                elif home in first_port:
+                    cluster.routing[address] = first_port[home]
+                # else: unreachable; route_port() raises on use.
+
+    # -- inspection ------------------------------------------------------------
+    def iface(self, address: int) -> HPCInterface:
+        return self.interfaces[address]
+
+    def home_cluster(self, address: int) -> Cluster:
+        return self.clusters[self.attachments[address][0]]
+
+    def reachable(self, src: int, dst: int) -> bool:
+        """True if routes exist from src's cluster to dst."""
+        return dst in self.home_cluster(src).routing or (
+            self.attachments[src][0] == self.attachments[dst][0]
+        )
+
+    def stats(self) -> dict:
+        """Aggregate fabric statistics for reports."""
+        return {
+            "clusters": len(self.clusters),
+            "endpoints": len(self.interfaces),
+            "cluster_links": len(self._cluster_edges) // 2,
+            "messages_forwarded": sum(c.messages_forwarded for c in self.clusters),
+            "port_utilisation": {
+                c.cluster_id: len(c.wired_ports()) for c in self.clusters
+            },
+        }
+
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+def build_single_cluster(
+    sim: "Simulator", costs: "CostModel", n_endpoints: int
+) -> Fabric:
+    """A minimal system: up to twelve endpoints on one cluster."""
+    if not 2 <= n_endpoints <= PORTS_PER_CLUSTER:
+        raise ValueError(
+            f"a single cluster supports 2..{PORTS_PER_CLUSTER} endpoints, "
+            f"got {n_endpoints}"
+        )
+    fabric = Fabric(sim, costs)
+    cluster = fabric.add_cluster()
+    for port in range(n_endpoints):
+        fabric.attach(cluster, port, fabric.new_interface(f"node{port}"))
+    fabric.build_routes()
+    return fabric
+
+
+def hypercube_dimensions(n_clusters: int) -> int:
+    """Dimensions needed for ``n_clusters`` (incomplete allowed)."""
+    if n_clusters < 1:
+        raise ValueError(f"need at least one cluster, got {n_clusters}")
+    dims = 0
+    while (1 << dims) < n_clusters:
+        dims += 1
+    return dims
+
+
+def build_hypercube(
+    sim: "Simulator",
+    costs: "CostModel",
+    n_clusters: int,
+    nodes_per_cluster: int,
+) -> Fabric:
+    """Clusters as a (possibly incomplete) hypercube [Katseff 88].
+
+    Dimension *k* uses cluster port *k*; node ports follow.  The paper's
+    1024-node configuration is ``build_hypercube(sim, costs, 256, 4)``:
+    8 dimension ports + 4 node ports per cluster.
+    """
+    dims = hypercube_dimensions(n_clusters)
+    if dims + nodes_per_cluster > PORTS_PER_CLUSTER:
+        raise ValueError(
+            f"{dims} dimension ports + {nodes_per_cluster} node ports exceed "
+            f"the {PORTS_PER_CLUSTER}-port cluster"
+        )
+    fabric = Fabric(sim, costs)
+    for _ in range(n_clusters):
+        fabric.add_cluster()
+    for cid in range(n_clusters):
+        for dim in range(dims):
+            neighbour = cid ^ (1 << dim)
+            if neighbour < cid or neighbour >= n_clusters:
+                continue  # incomplete: missing vertices simply lack links
+            fabric.connect_clusters(
+                fabric.clusters[cid], dim, fabric.clusters[neighbour], dim
+            )
+    for cid in range(n_clusters):
+        for j in range(nodes_per_cluster):
+            iface = fabric.new_interface(f"node{cid}.{j}")
+            fabric.attach(fabric.clusters[cid], dims + j, iface)
+    fabric.build_routes()
+    return fabric
+
+
+def build_lam_system(
+    sim: "Simulator",
+    costs: "CostModel",
+    n_nodes: int = 70,
+    n_workstations: int = 10,
+    nodes_per_cluster: int = 8,
+) -> tuple[Fabric, list[int], list[int]]:
+    """A "typical local area multicomputer" (Figure 1).
+
+    A hypercube of clusters hosting ``n_nodes`` processing nodes and
+    ``n_workstations`` host workstations; returns ``(fabric,
+    node_addresses, workstation_addresses)``.  The default reproduces the
+    paper's operational system: 70 nodes + 10 SUN-3 workstations.
+    """
+    total = n_nodes + n_workstations
+    if total < 2:
+        raise ValueError("need at least two endpoints")
+    n_clusters = -(-total // nodes_per_cluster)  # ceil
+    dims = hypercube_dimensions(n_clusters)
+    if dims + nodes_per_cluster > PORTS_PER_CLUSTER:
+        raise ValueError(
+            f"nodes_per_cluster={nodes_per_cluster} leaves too few ports for "
+            f"{dims} hypercube dimensions"
+        )
+    fabric = Fabric(sim, costs)
+    for _ in range(n_clusters):
+        fabric.add_cluster()
+    for cid in range(n_clusters):
+        for dim in range(dims):
+            neighbour = cid ^ (1 << dim)
+            if neighbour < cid or neighbour >= n_clusters:
+                continue
+            fabric.connect_clusters(
+                fabric.clusters[cid], dim, fabric.clusters[neighbour], dim
+            )
+    node_addresses: list[int] = []
+    ws_addresses: list[int] = []
+    for k in range(total):
+        cid, slot = divmod(k, nodes_per_cluster)
+        if k < n_nodes:
+            iface = fabric.new_interface(f"node{k}")
+            node_addresses.append(iface.address)
+        else:
+            iface = fabric.new_interface(f"ws{k - n_nodes}")
+            ws_addresses.append(iface.address)
+        fabric.attach(fabric.clusters[cid], dims + slot, iface)
+    fabric.build_routes()
+    return fabric, node_addresses, ws_addresses

@@ -1,0 +1,92 @@
+"""Overflow-recovery strategies for Meglos on the S/NET (Section 2).
+
+Each strategy answers one question: *after the hardware reported
+fifo-full, what does the sending kernel do before retrying?*
+
+The paper's history: Meglos shipped with busy retransmission, which
+livelocks under many-to-one bursts of long messages (senders continually
+deposit partial messages that the receiver must read and discard, so free
+space never reaches a full message's worth).  Random timeouts fix the
+livelock but throttle communication to the timeout rate.  The reservation
+protocol eliminates overflow entirely but taxes every message with a
+round trip.  In the end Meglos implemented none of them reliably and
+simply required applications to bound many-to-one message sizes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.meglos.kernel import MeglosNode
+
+
+class RetryStrategy:
+    """Decides how a sender waits between retransmissions."""
+
+    #: Human-readable scheme name for reports.
+    name = "abstract"
+
+    def wait(self, node: "MeglosNode", attempt: int):
+        """Generator: delay (and/or charge CPU) before retry ``attempt``."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Called when a message finally gets through."""
+
+
+class BusyRetransmit(RetryStrategy):
+    """The original Meglos scheme: spin in the kernel and resend.
+
+    *"the originating processors were to continuously resend their
+    message until it was successfully received"* -- the spin occupies the
+    CPU (it is a kernel loop) and re-contends for the bus immediately.
+    """
+
+    name = "busy-retransmit"
+
+    def wait(self, node: "MeglosNode", attempt: int):
+        yield node.k_exec(node.costs.snet_retry_spin)
+
+
+class RandomBackoff(RetryStrategy):
+    """Ethernet-style random timeouts (truncated binary exponential).
+
+    Eliminates kernel busy loops, but when many messages need
+    retransmission, "communications runs at the timeout rate; at least an
+    order of magnitude slower than the expected communications rate".
+    """
+
+    name = "random-backoff"
+
+    def __init__(self, base_us: float = 1_000.0, max_doublings: int = 6,
+                 seed: int = 1990) -> None:
+        if base_us <= 0:
+            raise ValueError(f"backoff base must be positive: {base_us}")
+        self.base_us = base_us
+        self.max_doublings = max_doublings
+        self.rng = random.Random(seed)
+
+    def wait(self, node: "MeglosNode", attempt: int):
+        window = 1 << min(attempt, self.max_doublings)
+        delay = self.rng.uniform(0, window * self.base_us)
+        yield node.sim.timeout(delay)
+
+
+class Reservation(RetryStrategy):
+    """Request/grant reservation (handled in the kernel's send path).
+
+    The sender first transmits a short request and sends data only after
+    the receiver grants it.  With one authorized sender at a time and a
+    fifo big enough for every processor's request plus one data message,
+    overflow never happens -- but every message pays the extra round
+    trip, which is why the paper rejected it as the default.
+    """
+
+    name = "reservation"
+
+    def wait(self, node: "MeglosNode", attempt: int):
+        # Only reached if a *request* is rejected (fifo crammed even for
+        # short messages); retry politely.
+        yield node.sim.timeout(node.costs.snet_retry_spin * 10)

@@ -1,0 +1,384 @@
+"""The Meglos kernel on the S/NET (Sections 1-3).
+
+A deliberately smaller kernel than VORX (Meglos predates it): subprocess
+spawning and blocking work the same way, but communication runs over the
+shared bus with *software* overflow recovery, and all resource management
+is centralized on a single host (node 0 by convention).
+
+The receive path reproduces the Section 2 mechanics exactly: the ISR
+reads fifo entries in order, charging copy time for every byte --
+including the partial messages it must read **and discard** after an
+overflow.  That discard work is what starves the fifo of free space and
+produces the lockout under busy retransmission.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+from repro.hpc.message import MessageKind, Packet
+from repro.meglos.flowcontrol import BusyRetransmit, Reservation, RetryStrategy
+from repro.sim.cpu import CPU, PRIORITY_ISR, PRIORITY_KERNEL
+from repro.sim.resources import Store
+from repro.sim.trace import Category, TraceLog
+from repro.snet.bus import SNetBus
+from repro.snet.nic import SNetInterface
+from repro.vorx.subprocesses import BlockReason, Subprocess, SubprocessState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.sim.events import Event
+    from repro.model.costs import CostModel
+
+
+class MeglosNode:
+    """One Meglos processor on the S/NET bus."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        costs: "CostModel",
+        iface: SNetInterface,
+        name: Optional[str] = None,
+    ) -> None:
+        self.sim = sim
+        self.costs = costs
+        self.iface = iface
+        self.address = iface.address
+        self.name = name or f"meglos{self.address}"
+        self.cpu = CPU(sim, self.name)
+        self.trace = TraceLog()
+        self.subprocesses: list[Subprocess] = []
+        #: Delivered whole messages awaiting a reader.
+        self.inbox: Store = Store(sim)
+        self._isr_active = False
+        self.context_switches = 0
+        #: Partial messages read-and-discarded (Section 2's wasted work).
+        self.partials_discarded = 0
+        self.partial_bytes_discarded = 0
+        # Reservation protocol state (receiver side).
+        self._grant_queue: deque[int] = deque()
+        self._grant_active: Optional[int] = None
+        # Reservation protocol state (sender side): dst -> grant event.
+        self._awaiting_grant: dict[int, "Event"] = {}
+        iface.set_rx_interrupt(self._rx_interrupt)
+        self.prof_samples: dict = {}
+
+    # ------------------------------------------------------------------
+    # CPU helpers (same charging discipline as VORX)
+    # ------------------------------------------------------------------
+    def isr_exec(self, duration: float) -> "Event":
+        return self.cpu.execute(
+            duration, PRIORITY_ISR, None, Category.SYSTEM, preemptible=False
+        )
+
+    def k_exec(self, duration: float) -> "Event":
+        return self.cpu.execute(duration, PRIORITY_KERNEL, None, Category.SYSTEM)
+
+    def u_exec(self, sp: Subprocess, duration: float) -> "Event":
+        return self.cpu.execute(duration, sp.cpu_priority, sp.uid, Category.USER)
+
+    def prof_record(self, sp: Subprocess, label: str, duration: float) -> None:
+        key = (sp.process_name, label)
+        self.prof_samples[key] = self.prof_samples.get(key, 0.0) + duration
+
+    # ------------------------------------------------------------------
+    # subprocesses (same semantics as the VORX kernel)
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        program: Callable[..., Generator],
+        name: Optional[str] = None,
+        priority: int = 0,
+        process_name: Optional[str] = None,
+    ) -> Subprocess:
+        sp = Subprocess(self, name or f"sp{len(self.subprocesses)}",
+                        priority, process_name)
+
+        def main():
+            yield self.cpu.execute(
+                self.costs.context_switch, sp.cpu_priority, sp.uid,
+                Category.SYSTEM,
+            )
+            self.context_switches += 1
+            sp.state = SubprocessState.RUNNING
+            env = MeglosEnv(self, sp)
+            try:
+                sp.result = yield from program(env)
+                sp.state = SubprocessState.DONE
+            except BaseException:
+                sp.state = SubprocessState.FAILED
+                raise
+            return sp.result
+
+        sp.process = self.sim.process(main())
+        sp.process.name = sp.uid
+        self.subprocesses.append(sp)
+        return sp
+
+    def block(self, sp: Subprocess, reason: BlockReason, event: "Event"):
+        sp.state = SubprocessState.BLOCKED
+        sp.blocked_on = reason
+        try:
+            value = yield event
+        finally:
+            sp.state = SubprocessState.READY
+            sp.blocked_on = None
+        yield self.cpu.execute(
+            self.costs.wakeup_overhead + self.costs.context_switch,
+            sp.cpu_priority, sp.uid, Category.SYSTEM,
+        )
+        self.context_switches += 1
+        sp.state = SubprocessState.RUNNING
+        return value
+
+    # ------------------------------------------------------------------
+    # receive path: drain the fifo, discarding partials
+    # ------------------------------------------------------------------
+    def _rx_interrupt(self) -> None:
+        if self._isr_active:
+            return
+        self._isr_active = True
+        self.sim.process(self._isr())
+
+    def disable_interrupts(self) -> None:
+        """Mask the receive interrupt (arrivals accumulate in the fifo)."""
+        self.iface.interrupts_enabled = False
+
+    def enable_interrupts(self) -> None:
+        """Unmask the receive interrupt, draining any backlog."""
+        self.iface.interrupts_enabled = True
+        if self.iface.fifo.depth > 0:
+            self._rx_interrupt()
+
+    #: Software drains the fifo in word bursts of this many bytes; space
+    #: is freed incrementally, so concurrent arrivals see only what has
+    #: been drained so far (the mechanism behind the Section 2 lockout).
+    DRAIN_CHUNK_BYTES = 64
+
+    def _isr(self):
+        yield self.isr_exec(self.costs.interrupt_overhead)
+        fifo = self.iface.fifo
+        while fifo.peek() is not None:
+            # The software must read every stored byte out of the fifo --
+            # whole messages AND retained partial prefixes -- a chunk of
+            # words at a time.
+            yield self.isr_exec(
+                self.costs.copy_time(
+                    min(self.DRAIN_CHUNK_BYTES, fifo.peek().remaining)
+                )
+            )
+            entry = fifo.consume(self.DRAIN_CHUNK_BYTES)
+            if entry is None:
+                continue
+            if entry.partial:
+                self.partials_discarded += 1
+                self.partial_bytes_discarded += entry.stored_bytes
+                continue
+            yield from self._deliver(entry.packet)
+        self._isr_active = False
+
+    def _deliver(self, packet: Packet):
+        if packet.kind is MessageKind.CONTROL:
+            yield from self._on_reservation_control(packet)
+            return
+        yield self.isr_exec(self.costs.chan_recv_kernel)
+        self.inbox.try_put(packet)
+        if self._grant_active == packet.src:
+            # Reservation protocol: data received; authorize the next.
+            self._grant_active = None
+            self._issue_next_grant()
+
+    # ------------------------------------------------------------------
+    # send path with software overflow recovery
+    # ------------------------------------------------------------------
+    def send_reliable(
+        self,
+        sp: Subprocess,
+        dst: int,
+        nbytes: int,
+        strategy: RetryStrategy,
+        payload: Any = None,
+    ):
+        """Generator: transmit until accepted, per the recovery strategy.
+
+        Returns the number of transmission attempts (1 = no overflow).
+        """
+        if isinstance(strategy, Reservation):
+            yield from self._reserve(sp, dst, strategy)
+        attempts = 0
+        # The message is copied into the interface once; retransmissions
+        # just re-trigger the hardware ("continuously resend"), which is
+        # what makes the busy-retransmit loop so tight.
+        yield self.k_exec(
+            self.costs.chan_send_kernel + self.costs.copy_time(nbytes)
+        )
+        while True:
+            attempts += 1
+            packet = Packet(
+                src=self.address, dst=dst, size=nbytes,
+                kind=MessageKind.USER_OBJECT, payload=payload,
+            )
+            accepted = yield from self.iface.send(packet)
+            if accepted:
+                strategy.reset()
+                return attempts
+            yield from strategy.wait(self, attempts)
+
+    def _reserve(self, sp: Subprocess, dst: int, strategy: RetryStrategy):
+        """Request/grant handshake preceding a reservation-mode send."""
+        grant = self.sim.event()
+        self._awaiting_grant[dst] = grant
+        attempts = 0
+        while True:
+            attempts += 1
+            yield self.k_exec(self.costs.chan_ack_send)
+            request = Packet(
+                src=self.address, dst=dst, size=8,
+                kind=MessageKind.CONTROL, payload={"op": "request"},
+            )
+            accepted = yield from self.iface.send(request)
+            if accepted:
+                break
+            yield from strategy.wait(self, attempts)
+        yield from self.block(sp, BlockReason.OUTPUT, grant)
+        self._awaiting_grant.pop(dst, None)
+
+    def _on_reservation_control(self, packet: Packet):
+        yield self.isr_exec(self.costs.chan_ack_recv)
+        op = packet.payload["op"]
+        if op == "request":
+            self._grant_queue.append(packet.src)
+            if self._grant_active is None:
+                self._issue_next_grant()
+        elif op == "grant":
+            event = self._awaiting_grant.get(packet.src)
+            if event is not None:
+                event.succeed()
+        else:  # pragma: no cover - future ops
+            raise ValueError(f"unknown reservation op {op!r}")
+
+    def _issue_next_grant(self) -> None:
+        if not self._grant_queue:
+            return
+        sender = self._grant_queue.popleft()
+        self._grant_active = sender
+        grant = Packet(
+            src=self.address, dst=sender, size=8,
+            kind=MessageKind.CONTROL, payload={"op": "grant"},
+        )
+        # Grants go out via a kernel helper process (ISR cannot block on
+        # the bus).
+        self.sim.process(self._send_grant(grant))
+
+    def _send_grant(self, grant: Packet):
+        while True:
+            yield self.k_exec(self.costs.chan_ack_send)
+            accepted = yield from self.iface.send(grant)
+            if accepted:
+                return
+            yield self.sim.timeout(self.costs.snet_retry_spin * 4)
+
+    # ------------------------------------------------------------------
+    # blocking receive
+    # ------------------------------------------------------------------
+    def receive(self, sp: Subprocess):
+        """Generator: wait for the next whole delivered message."""
+        if len(self.inbox) > 0:
+            packet = yield self.inbox.get()
+            yield self.k_exec(self.costs.copy_time(packet.size))
+            return packet
+        packet = yield from self.block(sp, BlockReason.INPUT, self.inbox.get())
+        yield self.k_exec(self.costs.copy_time(packet.size))
+        return packet
+
+
+class MeglosEnv:
+    """Application API on a Meglos node (subset of the VORX Env)."""
+
+    def __init__(self, node: MeglosNode, sp: Subprocess) -> None:
+        self._node = node
+        self._sp = sp
+
+    @property
+    def node(self) -> int:
+        return self._node.address
+
+    @property
+    def kernel(self) -> MeglosNode:
+        return self._node
+
+    @property
+    def subprocess(self) -> Subprocess:
+        return self._sp
+
+    @property
+    def now(self) -> float:
+        return self._node.sim.now
+
+    def compute(self, duration: float, label: str = "main"):
+        if duration < 0:
+            raise ValueError(f"negative compute time: {duration}")
+        self._node.prof_record(self._sp, label, duration)
+        yield self._node.u_exec(self._sp, duration)
+
+    def sleep(self, duration: float):
+        yield from self._node.block(
+            self._sp, BlockReason.TIMER, self._node.sim.timeout(duration)
+        )
+
+    def send(self, dst: int, nbytes: int,
+             strategy: Optional[RetryStrategy] = None, payload: Any = None):
+        """Generator: reliable send under an overflow-recovery strategy."""
+        strategy = strategy or BusyRetransmit()
+        attempts = yield from self._node.send_reliable(
+            self._sp, dst, nbytes, strategy, payload
+        )
+        return attempts
+
+    def recv(self):
+        """Generator: blocking receive of the next whole message."""
+        packet = yield from self._node.receive(self._sp)
+        return packet
+
+    def disable_interrupts(self) -> None:
+        """Mask receive interrupts (e.g. a device critical section)."""
+        self._node.disable_interrupts()
+
+    def enable_interrupts(self) -> None:
+        self._node.enable_interrupts()
+
+
+class MeglosSystem:
+    """A complete S/NET + Meglos machine (at most ~12 processors)."""
+
+    #: The S/NET's practical size limit (paper: largest system had 12).
+    MAX_NODES = 13
+
+    def __init__(self, n_nodes: int, costs=None, sim: Optional["Simulator"] = None):
+        from repro.model.costs import DEFAULT_COSTS
+        from repro.sim.engine import Simulator as _Sim
+
+        if not 2 <= n_nodes <= self.MAX_NODES:
+            raise ValueError(
+                f"the S/NET supported 2..{self.MAX_NODES} processors, "
+                f"got {n_nodes}"
+            )
+        self.sim = sim or _Sim()
+        self.costs = costs or DEFAULT_COSTS
+        self.bus = SNetBus(self.sim, self.costs)
+        self.nodes: list[MeglosNode] = []
+        for i in range(n_nodes):
+            iface = SNetInterface(self.sim, self.costs, self.bus, address=i)
+            self.bus.register(iface)
+            self.nodes.append(MeglosNode(self.sim, self.costs, iface, f"m{i}"))
+
+    def node(self, index: int) -> MeglosNode:
+        return self.nodes[index]
+
+    def spawn(self, node_index: int, program, **kwargs) -> Subprocess:
+        return self.nodes[node_index].spawn(program, **kwargs)
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until=until)

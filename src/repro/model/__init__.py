@@ -1,0 +1,36 @@
+"""Calibrated performance model for the HPC/VORX reproduction.
+
+The paper's measurements were taken on 25 MHz Motorola 68020 processing
+nodes connected by the 160 Mbit/sec HPC interconnect.  This package holds
+every timing constant used by the simulation, calibrated against the
+numbers published in the paper (see :mod:`repro.model.costs`), plus small
+unit helpers (:mod:`repro.model.units`).
+
+All simulation time is expressed in **microseconds** throughout the
+code base.
+"""
+
+from repro.model.costs import CostModel, DEFAULT_COSTS
+from repro.model.units import (
+    US,
+    MS,
+    SEC,
+    KB,
+    MB,
+    mbit_per_sec_to_us_per_byte,
+    us_to_ms,
+    us_to_sec,
+)
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COSTS",
+    "US",
+    "MS",
+    "SEC",
+    "KB",
+    "MB",
+    "mbit_per_sec_to_us_per_byte",
+    "us_to_ms",
+    "us_to_sec",
+]

@@ -1,0 +1,244 @@
+"""The calibrated cost model.
+
+Every timing constant used anywhere in the simulation lives here, so the
+calibration against the paper is auditable in one place.  The paper's
+anchor measurements (all on 25 MHz MC68020 + MC68882 nodes over the HPC):
+
+====================================================================  =========
+Published number                                                      Source
+====================================================================  =========
+Channel latency, 4-byte messages                         303 us/msg   Table 2
+Channel latency, 1024-byte messages                      997 us/msg   Table 2
+Channel bandwidth at 1024 bytes                       1027 kbyte/s    Section 4
+Sliding-window latency, 1 buffer, 4 bytes                414 us/msg   Table 1
+Sliding-window latency, 64 buffers, 4 bytes              164 us/msg   Table 1
+User-defined object, no protocol, 64 bytes                60 us/msg   Section 4.1
+Bitmap streaming bandwidth                             3.2 Mbyte/s    Section 4.1
+Context switch (all registers, fixed + floating point)       80 us    Section 5
+Per-process download of 70 processes                          12 s    Section 3.3
+Tree download of 70 processes                                  2 s    Section 3.3
+HPC port rate                                          160 Mbit/s     Section 1
+Maximum HPC message                                     1060 bytes    Section 2
+S/NET receive fifo capacity                             2048 bytes    Section 2
+====================================================================  =========
+
+Derived calibration
+-------------------
+
+*Per-byte copy* -- Table 2's latency slope is (997-303)/1020 = 0.68 us/byte.
+One wire traversal at 160 Mbit/s accounts for 0.05 us/byte; the remaining
+~0.63 us/byte is two CPU copies (user buffer -> interconnect at the sender,
+interconnect -> user buffer at the receiver), i.e. ~0.315 us/byte/copy --
+about 3 Mbyte/s of memcpy, which is consistent with a 25 MHz 68020 and with
+the 3.2 Mbyte/s single-copy bitmap streaming result.
+
+*Fixed channel path* -- chosen so a 1000-message stop-and-wait stream
+measures ~303 us/message for 4-byte messages, decomposed into syscall
+entry, kernel channel processing, interrupt handling, acknowledgement
+processing and the 80 us context switches documented in Section 5.
+
+The constants below are the result of running ``scripts/calibrate.py``
+against the full simulator and nudging the free parameters until the
+Table 1 / Table 2 shapes reproduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.model.units import mbit_per_sec_to_us_per_byte
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """All timing constants for the simulated hardware/software stack.
+
+    Instances are immutable; use :meth:`scaled` or :func:`dataclasses.replace`
+    to derive variants (e.g. for ablation benchmarks).  Times are
+    microseconds, sizes are bytes.
+    """
+
+    # ------------------------------------------------------------------
+    # CPU / memory (25 MHz MC68020 + MC68882)
+    # ------------------------------------------------------------------
+    #: CPU copy cost per byte (memcpy between memory and the interconnect
+    #: interface).  Calibrated from the Table 2 slope; see module docstring.
+    copy_per_byte: float = 0.29
+    #: Full context switch between subprocesses: all fixed and floating
+    #: point registers saved/restored (Section 5: 80 us).
+    context_switch: float = 80.0
+    #: Switching between coroutines within a subprocess: only the live
+    #: registers at a well-defined call site are saved (Section 5).
+    coroutine_switch: float = 12.0
+    #: Interrupt entry + exit overhead (vector dispatch, partial save).
+    interrupt_overhead: float = 13.0
+    #: Trap into the kernel (supervisor call) and return.
+    syscall_overhead: float = 25.0
+
+    # ------------------------------------------------------------------
+    # HPC interconnect (Section 1, 2)
+    # ------------------------------------------------------------------
+    #: Port rate: 160 Mbit/s in each direction -> 0.05 us/byte.
+    hpc_us_per_byte: float = mbit_per_sec_to_us_per_byte(160.0)
+    #: Hardware message header (routing + length + type), bytes.
+    hpc_header_bytes: int = 16
+    #: Largest message the HPC accepts (Section 2: 1060 bytes of payload).
+    hpc_max_message: int = 1060
+    #: Fixed per-hop hardware latency (routing decision, cut-through setup).
+    hpc_hop_latency: float = 1.0
+    #: Input-section buffer at each cluster port / node interface, in
+    #: *whole messages* -- a link refuses a message until a full-message
+    #: buffer is free (Section 2).
+    hpc_port_buffers: int = 2
+
+    # ------------------------------------------------------------------
+    # S/NET interconnect (Section 2)
+    # ------------------------------------------------------------------
+    #: S/NET bus rate (slower, shared-bus predecessor).
+    snet_us_per_byte: float = mbit_per_sec_to_us_per_byte(80.0)
+    #: S/NET message header, bytes.
+    snet_header_bytes: int = 12
+    #: Receive fifo capacity in bytes (Section 2: 2048).
+    snet_fifo_bytes: int = 2048
+    #: Bus acquisition / arbitration overhead per transmission.
+    snet_bus_overhead: float = 4.0
+    #: Delay before a sender's retransmission loop re-sends after a
+    #: fifo-full signal (tight kernel loop; Section 2).
+    snet_retry_spin: float = 30.0
+
+    # ------------------------------------------------------------------
+    # VORX channel protocol (Section 4, calibrated to Table 2)
+    # ------------------------------------------------------------------
+    #: Kernel processing for a channel write after the trap: validate the
+    #: descriptor, build the header, start the hardware.
+    chan_send_kernel: float = 77.0
+    #: Kernel processing when a channel data message arrives (after
+    #: interrupt overhead): demultiplex, find endpoint, manage buffers.
+    chan_recv_kernel: float = 40.0
+    #: Building + sending the acknowledgement message inside the receive
+    #: path.
+    chan_ack_send: float = 18.0
+    #: Processing an arriving acknowledgement and readying the writer.
+    chan_ack_recv: float = 14.0
+    #: Acknowledgement / control message payload size on the wire.
+    chan_ack_bytes: int = 8
+    #: Kernel side-buffer pool per channel endpoint, in messages ("many
+    #: side buffers", Section 4).
+    chan_side_buffers: int = 16
+    #: Kernel processing for a channel open request/reply at the object
+    #: manager (hashing, table search, reply construction).
+    chan_open_kernel: float = 180.0
+
+    # ------------------------------------------------------------------
+    # User-defined communications objects (Section 4.1)
+    # ------------------------------------------------------------------
+    #: Application writing the device registers directly to launch a
+    #: message -- no supervisor call (Section 4.1: part of the 60 us / 64
+    #: byte no-protocol path).
+    ud_send: float = 22.0
+    #: Application-level interrupt service routine body for one incoming
+    #: message (beyond `interrupt_overhead`).
+    ud_recv: float = 16.0
+    #: Polling the interface for input at a convenient place (Section 5's
+    #: single-subprocess structure).
+    ud_poll: float = 10.0
+
+    # ------------------------------------------------------------------
+    # Sliding-window benchmark protocol (Section 4.1, Table 1)
+    # ------------------------------------------------------------------
+    #: Sender-side per-message bookkeeping in the benchmark's user-level
+    #: protocol (count check/decrement, buffer management, loop).
+    sw_send_user: float = 14.0
+    #: Receiver-side consumption of one message in its main loop.
+    sw_consume_user: float = 55.0
+    #: Building + sending one buffer-available (credit) message.
+    sw_credit_send: float = 41.0
+    #: Processing one arriving credit in the sender's ISR.
+    sw_credit_recv: float = 6.0
+    #: Credit message payload bytes.
+    sw_credit_bytes: int = 4
+    #: Receiver-side cost per byte to move a message out of the interface
+    #: in the benchmark's user-level consume loop (device reads are a bit
+    #: slower than memory-to-memory copies).
+    sw_consume_per_byte: float = 0.33
+
+    # ------------------------------------------------------------------
+    # Scheduler / subprocesses (Section 5)
+    # ------------------------------------------------------------------
+    #: Kernel work to unblock a subprocess and place it on the ready list
+    #: (distinct from the context switch itself).
+    wakeup_overhead: float = 12.0
+    #: Semaphore P/V operation in the kernel.
+    semaphore_op: float = 10.0
+
+    # ------------------------------------------------------------------
+    # Hosts, stubs, and downloading (Section 3.3)
+    # ------------------------------------------------------------------
+    #: Host workstation creating one stub process (fork + exec on a SUN 3).
+    stub_create: float = 72_000.0
+    #: Host-side setup of the channels between a process and its stub.
+    stub_channel_setup: float = 30_000.0
+    #: Host executing one forwarded UNIX system call (non-blocking ones).
+    stub_syscall: float = 2_000.0
+    #: Program text size used for download experiments, bytes.
+    program_text_bytes: int = 100 * 1024
+    #: Host reading program text from disk, per byte (shared by both
+    #: download schemes; the a.out is read once per stub).
+    host_disk_per_byte: float = 0.11
+    #: Effective host network send cost per byte (protocol + copy on the
+    #: workstation, slower than a node's 0.315 us/byte).
+    host_net_per_byte: float = 0.38
+    #: Node-side cost per byte to receive + store + forward one download
+    #: chunk to two children in the tree scheme.
+    tree_forward_per_byte: float = 0.45
+    #: Download chunk size (one HPC message of program text).
+    download_chunk_bytes: int = 1024
+    #: Per-process fixed host work in the per-process scheme (process
+    #: table setup, symbol table, start message), on top of stub creation.
+    download_process_fixed: float = 25_000.0
+    #: SunOS per-process open file descriptor limit (Section 3.3).
+    host_fd_limit: int = 32
+
+    # ------------------------------------------------------------------
+    # Resource management (Section 3.2)
+    # ------------------------------------------------------------------
+    #: LAN round trip + server work for one request to the *centralized*
+    #: Meglos resource manager on the host.
+    central_manager_request: float = 9_000.0
+    #: Node-to-node request to a distributed VORX object manager.
+    distributed_manager_request: float = 600.0
+
+    # ------------------------------------------------------------------
+    # Derived helpers
+    # ------------------------------------------------------------------
+    def copy_time(self, nbytes: int) -> float:
+        """CPU time to copy ``nbytes`` between memory and an interface."""
+        return self.copy_per_byte * nbytes
+
+    def hpc_wire_time(self, payload_bytes: int) -> float:
+        """Serialization time of one HPC message on one link."""
+        return self.hpc_us_per_byte * (payload_bytes + self.hpc_header_bytes)
+
+    def snet_wire_time(self, payload_bytes: int) -> float:
+        """Serialization time of one S/NET message on the bus."""
+        return (
+            self.snet_bus_overhead
+            + self.snet_us_per_byte * (payload_bytes + self.snet_header_bytes)
+        )
+
+    def scaled(self, factor: float) -> "CostModel":
+        """A model with every *time* constant multiplied by ``factor``.
+
+        Useful for ablations ("what if the CPU were 4x faster?").  Sizes
+        and counts are left unchanged.
+        """
+        times = {
+            name: getattr(self, name) * factor
+            for name, f in self.__dataclass_fields__.items()
+            if f.type == "float"
+        }
+        return replace(self, **times)
+
+
+#: The calibrated default model used by all benchmarks.
+DEFAULT_COSTS = CostModel()

@@ -1,0 +1,62 @@
+"""Unit helpers.
+
+The canonical simulation time unit is the **microsecond** and the canonical
+size unit is the **byte**.  These constants and converters keep call sites
+readable (``5 * MS`` instead of ``5000.0``) and conversions auditable.
+"""
+
+from __future__ import annotations
+
+#: One microsecond (the base time unit).
+US: float = 1.0
+
+#: One millisecond in microseconds.
+MS: float = 1_000.0
+
+#: One second in microseconds.
+SEC: float = 1_000_000.0
+
+#: One kilobyte (paper usage: 1 kbyte = 1024 bytes).
+KB: int = 1024
+
+#: One megabyte.
+MB: int = 1024 * 1024
+
+
+def mbit_per_sec_to_us_per_byte(mbit_per_sec: float) -> float:
+    """Convert a link rate in Mbit/sec to a per-byte serialization time.
+
+    >>> mbit_per_sec_to_us_per_byte(160)
+    0.05
+    """
+    if mbit_per_sec <= 0:
+        raise ValueError(f"link rate must be positive, got {mbit_per_sec}")
+    bits_per_us = mbit_per_sec  # 1 Mbit/s == 1 bit/us
+    return 8.0 / bits_per_us
+
+
+def us_to_ms(us: float) -> float:
+    """Convert microseconds to milliseconds."""
+    return us / MS
+
+
+def us_to_sec(us: float) -> float:
+    """Convert microseconds to seconds."""
+    return us / SEC
+
+
+def bytes_per_sec(nbytes: int, elapsed_us: float) -> float:
+    """Average rate in bytes/second for ``nbytes`` moved in ``elapsed_us``."""
+    if elapsed_us <= 0:
+        raise ValueError(f"elapsed time must be positive, got {elapsed_us}")
+    return nbytes / us_to_sec(elapsed_us)
+
+
+def kbytes_per_sec(nbytes: int, elapsed_us: float) -> float:
+    """Average rate in kbyte/second (paper's unit for channel bandwidth)."""
+    return bytes_per_sec(nbytes, elapsed_us) / KB
+
+
+def mbytes_per_sec(nbytes: int, elapsed_us: float) -> float:
+    """Average rate in Mbyte/second (paper's unit for bitmap streaming)."""
+    return bytes_per_sec(nbytes, elapsed_us) / MB

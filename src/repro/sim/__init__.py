@@ -1,0 +1,56 @@
+"""A deterministic discrete-event simulation (DES) engine.
+
+This is the foundational substrate for the HPC/VORX reproduction: every
+piece of hardware (links, clusters, fifos, buses) and software (kernels,
+protocols, applications) in the paper is modelled as generator-based
+simulated processes scheduled by :class:`~repro.sim.engine.Simulator`.
+
+Highlights
+----------
+
+* **Generator processes** -- simulated code is an ordinary Python
+  generator that ``yield``\\ s events (:class:`~repro.sim.events.Event`,
+  timeouts, resource acquisitions); composition uses ``yield from``.
+* **Determinism** -- the event queue is ordered by ``(time, priority,
+  sequence)``; two runs of the same seeded simulation are bit-identical.
+* **Preemptive CPUs** -- :class:`~repro.sim.cpu.CPU` charges simulated
+  execution time with priority-preemptive scheduling and records a
+  per-category timeline consumed by the software oscilloscope
+  (:mod:`repro.tools.oscilloscope`).
+"""
+
+from repro.sim.engine import Simulator, Handle
+from repro.sim.events import (
+    Event,
+    Timeout,
+    Condition,
+    AnyOf,
+    AllOf,
+    Interrupt,
+    PENDING,
+)
+from repro.sim.process import Process
+from repro.sim.resources import Semaphore, Store, Resource
+from repro.sim.cpu import CPU, Job
+from repro.sim.trace import Timeline, Category, TraceLog
+
+__all__ = [
+    "Simulator",
+    "Handle",
+    "Event",
+    "Timeout",
+    "Condition",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "PENDING",
+    "Process",
+    "Semaphore",
+    "Store",
+    "Resource",
+    "CPU",
+    "Job",
+    "Timeline",
+    "Category",
+    "TraceLog",
+]

@@ -1,0 +1,239 @@
+"""A preemptive, priority-scheduled simulated CPU.
+
+Every processing node and workstation owns one :class:`CPU`.  Simulated
+software charges execution time by yielding :meth:`CPU.execute`; the CPU
+serializes all charges, preempts lower-priority work when higher-priority
+work arrives (the VORX scheduler is preemptive, paper Section 5), and
+records a :class:`~repro.sim.trace.Timeline` for the software oscilloscope.
+
+Priority convention: **lower number = higher priority**.  The stack uses:
+
+====================  ========
+Interrupt service         0
+Kernel paths              2
+Real-time subprocess    5-9
+Normal subprocess      10-99
+====================  ========
+
+An optional ``switch_cost`` callable charges the documented 80 us context
+switch whenever ownership of the CPU passes between different subprocess
+owners (charged as SYSTEM time).
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.sim.events import Event
+from repro.sim.trace import Category, Timeline
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Handle, Simulator
+
+#: Priority used by interrupt service routines.
+PRIORITY_ISR = 0
+#: Priority used by kernel code paths.
+PRIORITY_KERNEL = 2
+#: Default priority for application subprocesses.
+PRIORITY_USER = 10
+
+
+class Job:
+    """One execution charge on a CPU."""
+
+    __slots__ = (
+        "remaining",
+        "priority",
+        "owner",
+        "category",
+        "preemptible",
+        "done",
+        "seq",
+        "internal",
+    )
+
+    def __init__(
+        self,
+        remaining: float,
+        priority: int,
+        owner: Optional[str],
+        category: Category,
+        preemptible: bool,
+        done: Optional[Event],
+        seq: int,
+        internal: bool = False,
+    ) -> None:
+        self.remaining = remaining
+        self.priority = priority
+        self.owner = owner
+        self.category = category
+        self.preemptible = preemptible
+        self.done = done
+        self.seq = seq
+        self.internal = internal
+
+    def __lt__(self, other: "Job") -> bool:
+        return (self.priority, self.seq) < (other.priority, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Job owner={self.owner!r} prio={self.priority} "
+            f"remaining={self.remaining:.1f} {self.category}>"
+        )
+
+
+class CPU:
+    """A single simulated processor core.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    name:
+        Used in traces and error messages.
+    switch_cost:
+        Optional ``f(old_owner, new_owner) -> us`` charged (as SYSTEM time)
+        when CPU ownership changes.  Only consulted when both owners are
+        non-``None``; kernel/ISR work should pass ``owner=None`` so it
+        never triggers a context-switch charge by itself.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str = "cpu",
+        switch_cost: Optional[Callable[[Optional[str], Optional[str]], float]] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.timeline = Timeline(name)
+        self.switch_cost = switch_cost
+        self._ready: list[Job] = []
+        self._current: Optional[Job] = None
+        self._started_at: float = 0.0
+        self._end_handle: Optional["Handle"] = None
+        self._last_owner: Optional[str] = None
+        self._seq = 0
+        #: Count of context switches charged (paper: 80 us each).
+        self.context_switches = 0
+
+    # -- public API --------------------------------------------------------
+    def execute(
+        self,
+        duration: float,
+        priority: int = PRIORITY_USER,
+        owner: Optional[str] = None,
+        category: Category = Category.USER,
+        preemptible: bool = True,
+    ) -> Event:
+        """Charge ``duration`` us of CPU time; fires when the charge completes.
+
+        The charge competes with everything else on this CPU at the given
+        priority and may be preempted by higher-priority charges.
+        """
+        if duration < 0:
+            raise ValueError(f"negative execution time: {duration}")
+        done = Event(self.sim)
+        if duration == 0:
+            done.succeed()
+            return done
+        job = Job(duration, priority, owner, category, preemptible, done, self._seq)
+        self._seq += 1
+        heappush(self._ready, job)
+        self._maybe_preempt()
+        return job.done  # type: ignore[return-value]
+
+    @property
+    def busy(self) -> bool:
+        """True if a job is running right now."""
+        return self._current is not None
+
+    @property
+    def queue_length(self) -> int:
+        """Jobs waiting (not counting the running one)."""
+        return len(self._ready)
+
+    @property
+    def current_owner(self) -> Optional[str]:
+        """Owner of the running job, if any."""
+        return self._current.owner if self._current else None
+
+    def set_idle_reason(self, reason: Category) -> None:
+        """Tell the timeline why subsequent idle time occurs."""
+        self.timeline.mark_idle_reason(self.sim.now, reason)
+
+    # -- scheduling internals ------------------------------------------------
+    def _maybe_preempt(self) -> None:
+        if self._current is None:
+            self._dispatch()
+            return
+        if not self._ready:
+            return
+        top = self._ready[0]
+        if self._current.preemptible and top.priority < self._current.priority:
+            self._suspend_current()
+            self._dispatch()
+
+    def _suspend_current(self) -> None:
+        """Preempt the running job, accounting for partial progress."""
+        job = self._current
+        assert job is not None and self._end_handle is not None
+        self._end_handle.cancel()
+        self._end_handle = None
+        now = self.sim.now
+        elapsed = now - self._started_at
+        self.timeline.record(self._started_at, now, job.category, job.owner)
+        job.remaining = max(0.0, job.remaining - elapsed)
+        # Preserve FIFO order among equals: it keeps its original seq.
+        heappush(self._ready, job)
+        self._current = None
+
+    def _dispatch(self) -> None:
+        if self._current is not None or not self._ready:
+            return
+        job = heappop(self._ready)
+        # Charge a context switch if ownership changes between two named
+        # (subprocess) owners.
+        if (
+            self.switch_cost is not None
+            and not job.internal
+            and job.owner is not None
+            and self._last_owner is not None
+            and job.owner != self._last_owner
+        ):
+            cost = self.switch_cost(self._last_owner, job.owner)
+            if cost > 0:
+                # Put the real job back; run a non-preemptible switch first.
+                heappush(self._ready, job)
+                switch = Job(
+                    cost,
+                    job.priority,
+                    job.owner,
+                    Category.SYSTEM,
+                    False,
+                    None,
+                    job.seq,  # same seq: runs immediately before the job
+                    internal=True,
+                )
+                self.context_switches += 1
+                self._start(switch)
+                return
+        self._start(job)
+
+    def _start(self, job: Job) -> None:
+        self._current = job
+        self._started_at = self.sim.now
+        self._end_handle = self.sim.call_later(job.remaining, self._complete)
+
+    def _complete(self) -> None:
+        job = self._current
+        assert job is not None
+        now = self.sim.now
+        self.timeline.record(self._started_at, now, job.category, job.owner)
+        self._current = None
+        self._end_handle = None
+        self._last_owner = job.owner if job.owner is not None else self._last_owner
+        if job.done is not None:
+            job.done.succeed()
+        self._dispatch()

@@ -1,0 +1,153 @@
+"""The discrete-event simulation engine.
+
+:class:`Simulator` owns the clock and the event queue.  The queue is a
+binary heap keyed by ``(time, priority, sequence)`` so that simultaneous
+occurrences are processed in a deterministic order and urgent occurrences
+(process interrupts) precede normal ones at the same instant.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.events import Event, Timeout, NORMAL
+
+
+class Handle:
+    """A cancellable scheduled callback.
+
+    Returned by :meth:`Simulator.call_later`.  Cancellation is lazy: the
+    heap entry stays in place and is skipped when popped.
+    """
+
+    __slots__ = ("fn", "args", "cancelled", "time")
+
+    def __init__(self, time: float, fn: Callable[..., None], args: tuple) -> None:
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self.cancelled = True
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Simulator.step` when the queue is exhausted."""
+
+
+class Simulator:
+    """The event loop: simulated clock plus pending-occurrence queue.
+
+    Time is a float in **microseconds** (see :mod:`repro.model.units`).
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._seq: int = 0
+        #: heap of (time, priority, seq, item); item is Event or Handle
+        self._queue: list[tuple[float, int, int, Any]] = []
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time (microseconds)."""
+        return self._now
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule_event(self, event: Event, delay: float, priority: int) -> None:
+        heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        self._seq += 1
+
+    def call_later(self, delay: float, fn: Callable[..., None], *args: Any) -> Handle:
+        """Run ``fn(*args)`` after ``delay``; returns a cancellable handle."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        handle = Handle(self._now + delay, fn, args)
+        heappush(self._queue, (handle.time, NORMAL, self._seq, handle))
+        self._seq += 1
+        return handle
+
+    # -- factories -----------------------------------------------------------
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that triggers ``delay`` from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> "Process":
+        """Start a new simulated process running ``generator``."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    # -- execution -------------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next occurrence, or ``inf`` if the queue is empty."""
+        while self._queue:
+            time, _, _, item = self._queue[0]
+            if isinstance(item, Handle) and item.cancelled:
+                heappop(self._queue)
+                continue
+            return time
+        return float("inf")
+
+    def step(self) -> None:
+        """Process exactly one occurrence."""
+        while True:
+            if not self._queue:
+                raise EmptySchedule()
+            time, _, _, item = heappop(self._queue)
+            if isinstance(item, Handle):
+                if item.cancelled:
+                    continue
+                self._now = time
+                item.fn(*item.args)
+                return
+            self._now = time
+            item._process()
+            return
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue empties, a deadline passes, or an event fires.
+
+        ``until`` may be:
+
+        * ``None`` -- run to queue exhaustion;
+        * a number -- run until simulated time reaches it;
+        * an :class:`Event` -- run until it is processed, returning its
+          value (raising its exception if it failed).
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                try:
+                    self.step()
+                except EmptySchedule:
+                    raise RuntimeError(
+                        "simulation ran out of events before the awaited "
+                        f"event triggered: {stop!r}"
+                    ) from None
+            if stop.ok:
+                return stop.value
+            stop.defuse()
+            raise stop.value
+        if until is not None:
+            deadline = float(until)
+            if deadline < self._now:
+                raise ValueError(
+                    f"deadline {deadline} is in the past (now={self._now})"
+                )
+            while self.peek() <= deadline:
+                self.step()
+            self._now = deadline
+            return None
+        while True:
+            try:
+                self.step()
+            except EmptySchedule:
+                return None

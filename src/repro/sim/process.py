@@ -1,0 +1,134 @@
+"""Generator-based simulated processes.
+
+A process is an ordinary Python generator that yields :class:`Event`
+objects.  The engine resumes the generator with the event's value when it
+triggers (or throws the event's exception into it).  A :class:`Process` is
+itself an event that triggers with the generator's return value, so
+processes can wait on each other with ``yield other_process``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.events import Event, Interrupt, PENDING, URGENT
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+class Process(Event):
+    """A running simulated process wrapping a generator.
+
+    Create via :meth:`Simulator.process`.  Supports cooperative waiting
+    (``yield event``), composition (``yield from subroutine(...)``) and
+    asynchronous interruption (:meth:`interrupt`).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self, sim: "Simulator", generator: Generator, name: Optional[str] = None
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(
+                f"Process needs a generator, got {type(generator).__name__}: "
+                f"{generator!r} (did you call a plain function?)"
+            )
+        super().__init__(sim)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on (None if running
+        #: or finished).
+        self._target: Optional[Event] = None
+        # Kick off at the current time via an initial event.
+        start = Event(sim)
+        start.callbacks.append(self._resume)
+        start._ok = True
+        start._value = None
+        sim._schedule_event(start, 0.0, URGENT)
+
+    # -- state ---------------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not exited."""
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is waiting for (for debuggers)."""
+        return self._target
+
+    # -- interruption ----------------------------------------------------------
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point.
+
+        No-op semantics mirror real kernels: interrupting a dead process is
+        an error; interrupting a process that is about to be resumed is
+        processed before that resumption (urgent priority).
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"cannot interrupt dead process {self.name!r}")
+        if self._target is None:
+            raise RuntimeError(
+                f"cannot interrupt {self.name!r}: it has not yielded yet"
+            )
+        # Detach from what it was waiting on, then resume with a failure.
+        interrupt_event = Event(self.sim)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.sim._schedule_event(interrupt_event, 0.0, URGENT)
+
+    # -- engine internals --------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        if not self.is_alive:
+            # A stale wakeup (e.g. the original target of an interrupted
+            # process firing later).  Swallow failures it carried.
+            if event._ok is False:
+                event.defuse()
+            return
+        # Detach from the old target so stale triggers are recognisable.
+        if self._target is not None and self._target is not event:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        self._target = None
+
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event.defuse()
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self.fail(exc)
+                return
+
+            if not isinstance(next_event, Event):
+                error = RuntimeError(
+                    f"process {self.name!r} yielded a non-event: "
+                    f"{next_event!r} (missing `yield from`?)"
+                )
+                self.fail(error)
+                return
+
+            if next_event.callbacks is not None:
+                # Still pending (or triggered but unprocessed): register.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                return
+            # Already processed -- resume immediately without a queue trip.
+            event = next_event
+
+    def __repr__(self) -> str:
+        state = "alive" if self.is_alive else "finished"
+        return f"<Process {self.name!r} {state}>"

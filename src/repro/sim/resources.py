@@ -1,0 +1,160 @@
+"""Waitable resources: semaphores, stores (mailboxes), and counted resources.
+
+These are *engine-level* primitives used to build hardware models.  The
+VORX kernel exposes its own semaphore abstraction to simulated application
+code (:mod:`repro.vorx.semaphore`), which charges CPU time on top of these.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+class Semaphore:
+    """A counting semaphore with FIFO wakeup order.
+
+    ``acquire()`` returns an event that triggers once a unit is granted;
+    ``release()`` returns units.  FIFO ordering keeps simulations
+    deterministic and models the paper's fair hardware scheduling.
+    """
+
+    def __init__(self, sim: "Simulator", value: int = 1) -> None:
+        if value < 0:
+            raise ValueError(f"semaphore value must be >= 0, got {value}")
+        self.sim = sim
+        self._value = value
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def value(self) -> int:
+        """Units currently available."""
+        return self._value
+
+    @property
+    def waiting(self) -> int:
+        """Number of pending acquisitions."""
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Request one unit; the returned event fires when granted."""
+        event = Event(self.sim)
+        if self._value > 0 and not self._waiters:
+            self._value -= 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def try_acquire(self) -> bool:
+        """Take a unit immediately if available (non-blocking)."""
+        if self._value > 0 and not self._waiters:
+            self._value -= 1
+            return True
+        return False
+
+    def release(self, units: int = 1) -> None:
+        """Return ``units``, waking waiters in FIFO order."""
+        if units <= 0:
+            raise ValueError(f"must release a positive count, got {units}")
+        self._value += units
+        while self._value > 0 and self._waiters:
+            self._value -= 1
+            self._waiters.popleft().succeed()
+
+
+class Resource(Semaphore):
+    """A semaphore whose units represent identical servers (e.g. a bus)."""
+
+    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        super().__init__(sim, value=capacity)
+        self.capacity = capacity
+
+    @property
+    def in_use(self) -> int:
+        """Units currently held."""
+        return self.capacity - self.value
+
+
+class Store:
+    """A bounded FIFO of items with blocking put/get (a mailbox).
+
+    ``capacity`` may be ``None`` for an unbounded store.  Used for message
+    queues, hardware fifos measured in messages, and ready lists.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of queued items (for debuggers/tools)."""
+        return tuple(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def put(self, item: Any) -> Event:
+        """Enqueue ``item``; the event fires once it is accepted."""
+        event = Event(self.sim)
+        if self._getters:
+            # Hand straight to the oldest waiting getter.
+            self._getters.popleft().succeed(item)
+            event.succeed()
+        elif not self.is_full:
+            self._items.append(item)
+            event.succeed()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def try_put(self, item: Any) -> bool:
+        """Enqueue immediately if there is room (non-blocking)."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return True
+        if not self.is_full:
+            self._items.append(item)
+            return True
+        return False
+
+    def get(self) -> Event:
+        """Dequeue the oldest item; the event fires with the item."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> tuple[bool, Any]:
+        """``(True, item)`` if an item was available, else ``(False, None)``."""
+        if self._items:
+            item = self._items.popleft()
+            self._admit_putter()
+            return True, item
+        return False, None
+
+    def _admit_putter(self) -> None:
+        if self._putters and not self.is_full:
+            event, item = self._putters.popleft()
+            self._items.append(item)
+            event.succeed()

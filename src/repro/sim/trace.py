@@ -1,0 +1,210 @@
+"""Execution trace recording.
+
+The software oscilloscope (Section 6.2 of the paper) partitions each
+processor's time into *user*, *system* and several flavours of *idle*
+time.  :class:`Timeline` records exactly that raw data while a simulation
+runs; :mod:`repro.tools.oscilloscope` renders it.
+
+:class:`TraceLog` is a generic timestamped event log with counters, used
+by the communications debugger and the benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Iterable, Iterator, Optional
+
+
+class Category(str, Enum):
+    """Processor time categories (paper Section 6.2)."""
+
+    #: Application code executing.
+    USER = "user"
+    #: Operating system code executing (kernel paths, interrupt service).
+    SYSTEM = "system"
+    #: Idle: every runnable thread is waiting for message input.
+    IDLE_INPUT = "idle-input"
+    #: Idle: every runnable thread is waiting for message output.
+    IDLE_OUTPUT = "idle-output"
+    #: Idle: some threads wait for input and others for output.
+    IDLE_MIXED = "idle-mixed"
+    #: Idle for any other reason (devices, timers, nothing to run).
+    IDLE_OTHER = "idle-other"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Categories that represent busy CPU time.
+BUSY_CATEGORIES = (Category.USER, Category.SYSTEM)
+#: Categories that represent idle CPU time.
+IDLE_CATEGORIES = (
+    Category.IDLE_INPUT,
+    Category.IDLE_OUTPUT,
+    Category.IDLE_MIXED,
+    Category.IDLE_OTHER,
+)
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A half-open interval ``[start, end)`` of CPU activity."""
+
+    start: float
+    end: float
+    category: Category
+    owner: Optional[str] = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def clipped(self, t0: float, t1: float) -> Optional["Segment"]:
+        """The part of this segment inside ``[t0, t1)``, or None."""
+        start = max(self.start, t0)
+        end = min(self.end, t1)
+        if end <= start:
+            return None
+        return Segment(start, end, self.category, self.owner)
+
+
+class Timeline:
+    """Per-processor record of busy segments and idle-reason marks.
+
+    Busy segments are appended by :class:`repro.sim.cpu.CPU`; idle-reason
+    marks are appended by the kernel whenever the set of blocked threads
+    changes.  Idle intervals are derived as the complement of busy
+    segments, subdivided at reason marks.
+    """
+
+    def __init__(self, name: str = "cpu") -> None:
+        self.name = name
+        self._segments: list[Segment] = []
+        #: (time, reason) marks; reason applies until the next mark.
+        self._idle_marks: list[tuple[float, Category]] = [(0.0, Category.IDLE_OTHER)]
+
+    # -- recording ---------------------------------------------------------
+    def record(
+        self,
+        start: float,
+        end: float,
+        category: Category,
+        owner: Optional[str] = None,
+    ) -> None:
+        """Append a busy segment (zero-length segments are dropped)."""
+        if end < start:
+            raise ValueError(f"segment ends before it starts: [{start}, {end})")
+        if end == start:
+            return
+        if self._segments and start < self._segments[-1].end - 1e-9:
+            raise ValueError(
+                f"overlapping busy segments on {self.name}: new [{start}, {end}) "
+                f"begins before previous ends at {self._segments[-1].end}"
+            )
+        self._segments.append(Segment(start, end, category, owner))
+
+    def mark_idle_reason(self, time: float, reason: Category) -> None:
+        """Record that *subsequent* idle time has the given cause."""
+        if reason not in IDLE_CATEGORIES:
+            raise ValueError(f"not an idle category: {reason}")
+        last_t, last_r = self._idle_marks[-1]
+        if reason == last_r:
+            return
+        if time < last_t:
+            raise ValueError(f"idle mark out of order: {time} < {last_t}")
+        self._idle_marks.append((time, reason))
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def segments(self) -> tuple[Segment, ...]:
+        return tuple(self._segments)
+
+    @property
+    def end_time(self) -> float:
+        """End of the last recorded busy segment."""
+        return self._segments[-1].end if self._segments else 0.0
+
+    def busy_time(
+        self,
+        category: Optional[Category] = None,
+        t0: float = 0.0,
+        t1: float = float("inf"),
+    ) -> float:
+        """Total busy time (optionally one category) within ``[t0, t1)``."""
+        total = 0.0
+        for seg in self._segments:
+            if category is not None and seg.category is not category:
+                continue
+            clipped = seg.clipped(t0, t1)
+            if clipped is not None:
+                total += clipped.duration
+        return total
+
+    def idle_reason_at(self, time: float) -> Category:
+        """The idle reason in effect at ``time``."""
+        reason = self._idle_marks[0][1]
+        for t, r in self._idle_marks:
+            if t > time:
+                break
+            reason = r
+        return reason
+
+    def idle_segments(self, t0: float, t1: float) -> Iterator[Segment]:
+        """Idle intervals within ``[t0, t1)``, subdivided at reason marks."""
+        gaps: list[tuple[float, float]] = []
+        cursor = t0
+        for seg in self._segments:
+            if seg.end <= t0:
+                continue
+            if seg.start >= t1:
+                break
+            if seg.start > cursor:
+                gaps.append((cursor, min(seg.start, t1)))
+            cursor = max(cursor, seg.end)
+        if cursor < t1:
+            gaps.append((cursor, t1))
+        mark_times = [t for t, _ in self._idle_marks]
+        for gap_start, gap_end in gaps:
+            cuts = [gap_start]
+            cuts += [t for t in mark_times if gap_start < t < gap_end]
+            cuts.append(gap_end)
+            for a, b in zip(cuts, cuts[1:]):
+                if b > a:
+                    yield Segment(a, b, self.idle_reason_at(a))
+
+    def breakdown(self, t0: float, t1: float) -> dict[Category, float]:
+        """Time in every category within ``[t0, t1)`` (sums to ``t1 - t0``)."""
+        if t1 <= t0:
+            raise ValueError(f"empty window [{t0}, {t1})")
+        result = {cat: 0.0 for cat in Category}
+        for seg in self._segments:
+            clipped = seg.clipped(t0, t1)
+            if clipped is not None:
+                result[seg.category] += clipped.duration
+        for seg in self.idle_segments(t0, t1):
+            result[seg.category] += seg.duration
+        return result
+
+
+class TraceLog:
+    """A timestamped log of named occurrences plus counters."""
+
+    def __init__(self) -> None:
+        self.entries: list[tuple[float, str, Any]] = []
+        self.counters: Counter[str] = Counter()
+
+    def log(self, time: float, tag: str, data: Any = None) -> None:
+        self.entries.append((time, tag, data))
+        self.counters[tag] += 1
+
+    def count(self, tag: str) -> int:
+        return self.counters[tag]
+
+    def select(self, tag: str) -> list[tuple[float, Any]]:
+        """All (time, data) entries with the given tag."""
+        return [(t, d) for t, g, d in self.entries if g == tag]
+
+    def tags(self) -> Iterable[str]:
+        return self.counters.keys()

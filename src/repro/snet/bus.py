@@ -1,0 +1,63 @@
+"""The S/NET shared bus.
+
+One transmission at a time; contending senders are served in FIFO request
+order (bus arbitration).  Delivery is synchronous: the sender learns at
+the end of its bus tenure whether the destination fifo accepted the whole
+message or signalled fifo-full.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from repro.sim.resources import Semaphore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.model.costs import CostModel
+    from repro.hpc.message import Packet
+    from repro.snet.nic import SNetInterface
+
+
+class SNetBus:
+    """The single bus connecting every S/NET processor."""
+
+    def __init__(self, sim: "Simulator", costs: "CostModel") -> None:
+        self.sim = sim
+        self.costs = costs
+        self._arbiter = Semaphore(sim, value=1)
+        self._interfaces: Dict[int, "SNetInterface"] = {}
+        #: Total transmissions (including rejected ones) for statistics.
+        self.transmissions = 0
+        self.rejections = 0
+
+    def register(self, iface: "SNetInterface") -> None:
+        if iface.address in self._interfaces:
+            raise ValueError(f"address {iface.address} already on the bus")
+        self._interfaces[iface.address] = iface
+
+    @property
+    def n_interfaces(self) -> int:
+        return len(self._interfaces)
+
+    def transmit(self, packet: "Packet"):
+        """Generator: acquire the bus, transmit, return acceptance.
+
+        Returns True if the destination fifo took the whole message;
+        False is the fifo-full signal.
+        """
+        try:
+            dst = self._interfaces[packet.dst]
+        except KeyError:
+            raise KeyError(f"no S/NET interface at address {packet.dst}") from None
+        yield self._arbiter.acquire()
+        try:
+            yield self.sim.timeout(self.costs.snet_wire_time(packet.size))
+            self.transmissions += 1
+            accepted = dst.fifo.offer(packet)
+            if not accepted:
+                self.rejections += 1
+            dst.notify_delivery()
+            return accepted
+        finally:
+            self._arbiter.release()

@@ -1,0 +1,136 @@
+"""The S/NET receive fifo.
+
+Paper, Section 2: *"The hardware provided a fifo input buffer for each
+processor that could hold several incoming messages, with a combined
+length up to 2048 bytes.  When the fifo became full, the receiver would
+reject messages sent to it and send a fifo-full signal to the transmitter
+for each rejected message ...  the fifo retained the portion of the
+message that was received up to the time of the overflow.  The
+communications software in the receiving processor had to read and
+discard this initial portion of the message."*
+
+Occupancy is accounted in bytes including the hardware header, so the
+paper's sizing rule reproduces: twelve 150-byte messages fit, a
+thirteenth overflows (see experiment E8).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hpc.message import Packet
+
+
+@dataclass
+class FifoEntry:
+    """One (possibly partial) message sitting in the fifo."""
+
+    packet: "Packet"
+    #: Bytes actually stored (== on-wire size unless partial).
+    stored_bytes: int
+    #: True if the message overflowed and only a prefix was retained.
+    partial: bool
+    #: Bytes not yet read out by the software (drains word-by-word).
+    remaining: int = 0
+
+    def __post_init__(self) -> None:
+        self.remaining = self.stored_bytes
+
+
+class SNetFifo:
+    """A byte-accounted fifo of whole and partial messages."""
+
+    def __init__(self, capacity_bytes: int, header_bytes: int) -> None:
+        if capacity_bytes < 1:
+            raise ValueError(f"fifo capacity must be positive: {capacity_bytes}")
+        self.capacity = capacity_bytes
+        self.header_bytes = header_bytes
+        self._entries: deque[FifoEntry] = deque()
+        self._used = 0
+        #: Statistics for the flow-control experiments.
+        self.accepted = 0
+        self.rejected = 0
+        self.partial_bytes_retained = 0
+
+    # -- hardware (bus) side ---------------------------------------------------
+    def offer(self, packet: "Packet") -> bool:
+        """Deposit an arriving message.
+
+        Returns True if the whole message fit (accepted).  On overflow the
+        received prefix is retained (if any space existed) and False is
+        returned -- the bus delivers this as the fifo-full signal.
+        """
+        wire_bytes = packet.size + self.header_bytes
+        free = self.capacity - self._used
+        if free >= wire_bytes:
+            self._entries.append(FifoEntry(packet, wire_bytes, partial=False))
+            self._used += wire_bytes
+            self.accepted += 1
+            return True
+        self.rejected += 1
+        if free > 0:
+            self._entries.append(FifoEntry(packet, free, partial=True))
+            self._used = self.capacity
+            self.partial_bytes_retained += free
+        return False
+
+    # -- software (kernel) side ----------------------------------------------
+    def read(self) -> Optional[FifoEntry]:
+        """Remove and return the oldest entry (None if empty).
+
+        Frees the entry's space at once; callers that model the software
+        reading the fifo word-by-word (which is what starves concurrent
+        arrivals of space -- the Section 2 lockout) should use
+        :meth:`peek` + :meth:`consume` instead.
+        """
+        if not self._entries:
+            return None
+        entry = self._entries.popleft()
+        self._used -= entry.remaining
+        entry.remaining = 0
+        return entry
+
+    def peek(self) -> Optional[FifoEntry]:
+        """The oldest entry without removing it (None if empty)."""
+        return self._entries[0] if self._entries else None
+
+    def consume(self, nbytes: int) -> Optional[FifoEntry]:
+        """Read up to ``nbytes`` out of the head entry, freeing the space.
+
+        Space is freed *incrementally*, so a message arriving while the
+        software is mid-drain sees only the bytes freed so far -- exactly
+        the hardware behaviour behind the retransmission lockout.
+        Returns the entry once it is fully consumed, else ``None``.
+        """
+        if nbytes <= 0:
+            raise ValueError(f"must consume a positive count, got {nbytes}")
+        if not self._entries:
+            return None
+        entry = self._entries[0]
+        taken = min(nbytes, entry.remaining)
+        entry.remaining -= taken
+        self._used -= taken
+        if entry.remaining == 0:
+            self._entries.popleft()
+            return entry
+        return None
+
+    # -- inspection ------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self._used
+
+    @property
+    def depth(self) -> int:
+        """Entries currently queued (partial entries included)."""
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SNetFifo {self._used}/{self.capacity}B depth={self.depth}>"

@@ -1,0 +1,76 @@
+"""The S/NET processor interface.
+
+Couples a processor to the shared bus: a 2048-byte receive fifo plus a
+receive interrupt.  There is no transmit queue in hardware -- the kernel
+drives each transmission and synchronously receives the accepted /
+fifo-full outcome (which is what forces recovery into software,
+Section 2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.snet.fifo import SNetFifo, FifoEntry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+    from repro.model.costs import CostModel
+    from repro.hpc.message import Packet
+    from repro.snet.bus import SNetBus
+
+
+class SNetInterface:
+    """One processor's connection to the S/NET bus."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        costs: "CostModel",
+        bus: "SNetBus",
+        address: int,
+        name: Optional[str] = None,
+    ) -> None:
+        self.sim = sim
+        self.costs = costs
+        self.bus = bus
+        self.address = address
+        self.name = name or f"snet{address}"
+        self.fifo = SNetFifo(costs.snet_fifo_bytes, costs.snet_header_bytes)
+        self._rx_interrupt: Optional[Callable[[], None]] = None
+        self.interrupts_enabled = True
+        self.packets_sent = 0
+        self.sends_rejected = 0
+
+    # -- transmit ---------------------------------------------------------
+    def send(self, packet: "Packet"):
+        """Generator: transmit one message; returns acceptance boolean."""
+        if packet.src != self.address:
+            raise ValueError(
+                f"{self.name}: packet src {packet.src} != address {self.address}"
+            )
+        accepted = yield from self.bus.transmit(packet)
+        self.packets_sent += 1
+        if not accepted:
+            self.sends_rejected += 1
+        return accepted
+
+    # -- receive ------------------------------------------------------------
+    def set_rx_interrupt(self, handler: Optional[Callable[[], None]]) -> None:
+        self._rx_interrupt = handler
+
+    def notify_delivery(self) -> None:
+        """Called by the bus after any deposit (full or partial)."""
+        if self.interrupts_enabled and self._rx_interrupt is not None:
+            self.sim.call_later(0.0, self._rx_interrupt)
+
+    def read(self) -> Optional[FifoEntry]:
+        """Pop the oldest fifo entry (may be a partial to discard)."""
+        return self.fifo.read()
+
+    @property
+    def rx_pending(self) -> int:
+        return self.fifo.depth
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SNetInterface {self.name} addr={self.address}>"

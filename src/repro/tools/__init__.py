@@ -1,0 +1,32 @@
+"""Program development tools (paper Section 6).
+
+* :mod:`repro.tools.vdb` -- the symbolic debugger: attach to any running
+  process, inspect its state, switch between processes.
+* :mod:`repro.tools.cdb` -- the communications debugger: dump every
+  channel's state and find the wait cycles behind deadlocked
+  applications.
+* :mod:`repro.tools.prof` -- per-function execution-time profile.
+* :mod:`repro.tools.oscilloscope` -- the software oscilloscope:
+  synchronized per-processor displays of user/system/idle time, with the
+  idle time split by cause (waiting for input, output, or both).
+"""
+
+from repro.tools.cdb import Cdb, ChannelRow
+from repro.tools.oscilloscope import (
+    AggregateView,
+    OscilloscopeView,
+    SoftwareOscilloscope,
+)
+from repro.tools.prof import Prof
+from repro.tools.vdb import Vdb, ProcessInspection
+
+__all__ = [
+    "Cdb",
+    "ChannelRow",
+    "SoftwareOscilloscope",
+    "OscilloscopeView",
+    "AggregateView",
+    "Prof",
+    "Vdb",
+    "ProcessInspection",
+]

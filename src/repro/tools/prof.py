@@ -1,0 +1,67 @@
+"""prof: execution-time profiling (paper Section 6.2).
+
+*"The prof profiling system available in VORX can be run on a process to
+show how execution time is divided up among different parts of the
+program.  Typically one finds that a large portion of the execution time
+is spent in a small section of the code."*
+
+Simulated application code attributes its compute time to labels
+(``env.compute(us, label="solve")``); the kernel accumulates per-
+``(process, label)`` samples, and this module formats them the way
+prof(1) did: per-function time, percentage, and cumulative percentage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vorx.kernel import NodeKernel
+
+
+@dataclass(frozen=True)
+class ProfLine:
+    label: str
+    time_us: float
+    percent: float
+    cumulative_percent: float
+
+
+class Prof:
+    """Profile reports over one or more kernels."""
+
+    def __init__(self, kernels: Sequence["NodeKernel"]) -> None:
+        self.kernels = list(kernels)
+
+    def report(self, process: Optional[str] = None) -> list[ProfLine]:
+        """Per-label time, descending (optionally for one process)."""
+        totals: dict[str, float] = {}
+        for kernel in self.kernels:
+            for (process_name, label), time_us in kernel.prof_samples.items():
+                if process is not None and process_name != process:
+                    continue
+                totals[label] = totals.get(label, 0.0) + time_us
+        grand = sum(totals.values())
+        lines = []
+        cumulative = 0.0
+        for label, time_us in sorted(totals.items(), key=lambda kv: -kv[1]):
+            percent = 100.0 * time_us / grand if grand else 0.0
+            cumulative += percent
+            lines.append(ProfLine(label, time_us, percent, cumulative))
+        return lines
+
+    def hotspot(self, process: Optional[str] = None) -> Optional[ProfLine]:
+        """The single hottest label (what you'd rewrite first)."""
+        lines = self.report(process)
+        return lines[0] if lines else None
+
+    def format(self, process: Optional[str] = None) -> str:
+        header = f"{'%time':>6} {'cum%':>6} {'useconds':>12}  name"
+        rows = [header]
+        for line in self.report(process):
+            rows.append(
+                f"{line.percent:>6.1f} {line.cumulative_percent:>6.1f} "
+                f"{line.time_us:>12.0f}  {line.label}"
+            )
+        return "\n".join(rows)

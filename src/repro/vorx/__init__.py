@@ -1,0 +1,62 @@
+"""The VORX distributed operating system (the paper's core contribution).
+
+Subpackages of the kernel:
+
+* :mod:`repro.vorx.kernel` -- per-node kernel: ISR path, dispatch,
+  subprocess scheduling.
+* :mod:`repro.vorx.channels` -- named channels with the stop-and-wait
+  protocol (Section 4).
+* :mod:`repro.vorx.objects` -- user-defined communications objects
+  (Section 4.1).
+* :mod:`repro.vorx.sliding_window` -- the Table 1 reader-active
+  sliding-window benchmark protocol.
+* :mod:`repro.vorx.multicast` -- the flow-controlled multicast primitive
+  (Section 4.2).
+* :mod:`repro.vorx.object_manager` -- distributed-hashing name rendezvous
+  (Section 3.2).
+* :mod:`repro.vorx.resource_manager` -- processor allocation policies
+  (Section 3.1).
+* :mod:`repro.vorx.stub` / :mod:`repro.vorx.download` -- host stubs,
+  syscall forwarding, and program download (Section 3.3).
+* :mod:`repro.vorx.system` -- the :class:`VorxSystem` machine builder.
+"""
+
+from repro.vorx.env import Env
+from repro.vorx.errors import (
+    AllocationError,
+    ChannelBusyError,
+    ChannelClosedError,
+    ChannelError,
+    ChannelStateError,
+    DownloadError,
+    ObjectError,
+    SyscallError,
+    VorxError,
+)
+from repro.vorx.kernel import NodeKernel
+from repro.vorx.subprocesses import (
+    BlockReason,
+    KernelSemaphore,
+    Subprocess,
+    SubprocessState,
+)
+from repro.vorx.system import VorxSystem
+
+__all__ = [
+    "Env",
+    "NodeKernel",
+    "VorxSystem",
+    "Subprocess",
+    "SubprocessState",
+    "BlockReason",
+    "KernelSemaphore",
+    "VorxError",
+    "ChannelError",
+    "ChannelClosedError",
+    "ChannelBusyError",
+    "ChannelStateError",
+    "ObjectError",
+    "AllocationError",
+    "DownloadError",
+    "SyscallError",
+]

@@ -1,0 +1,252 @@
+"""Program download: per-process stubs versus the tree scheme (Section 3.3).
+
+Paper anchors: *"it takes 12 seconds to download and initialize a process
+on each of 70 processors.  Most of this time can be attributed to work
+centralized on the host"* versus *"With this method [the fan-out tree],
+it takes only two seconds to download and start 70 processes."*
+
+Two schemes:
+
+* :func:`download_per_process` -- for every node process the host creates
+  a stub, sets up its channels, reads the a.out, and pushes the text down
+  itself.  All of that work is serialized on the host CPU.
+* :func:`download_tree` -- one stub downloads one node; that node copies
+  the text to two others as it is received, and the fan-out continues
+  (store-and-forward pipeline at chunk granularity).  The host's
+  remaining per-process work is just process start-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.hpc.message import MessageKind, Packet
+from repro.vorx.errors import DownloadError
+from repro.vorx.subprocesses import BlockReason
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vorx.kernel import NodeKernel
+    from repro.vorx.system import VorxSystem
+
+
+@dataclass(frozen=True)
+class DownloadResult:
+    """Outcome of one download experiment."""
+
+    scheme: str
+    n_processes: int
+    text_bytes: int
+    elapsed_us: float
+    stubs_created: int
+
+    @property
+    def seconds(self) -> float:
+        return self.elapsed_us / 1e6
+
+
+class DownloadService:
+    """Node-side receiver/forwarder for program text."""
+
+    def __init__(self, kernel: "NodeKernel") -> None:
+        self.kernel = kernel
+        #: Fabric addresses to forward every chunk to (tree scheme).
+        self.children: list[int] = []
+        self.expected_bytes = 0
+        self.received_bytes = 0
+        self.report_to: Optional[int] = None
+        self._reported = False
+        kernel.register_handler(MessageKind.DOWNLOAD, self._on_chunk)
+        kernel.download = self  # type: ignore[attr-defined]
+
+    def reset(self, expected_bytes: int, report_to: int,
+              children: Optional[list[int]] = None) -> None:
+        self.expected_bytes = expected_bytes
+        self.received_bytes = 0
+        self.report_to = report_to
+        self._reported = False
+        self.children = list(children or [])
+
+    def _on_chunk(self, packet: Packet):
+        """Generator (ISR context): store (and forward) one text chunk."""
+        kernel = self.kernel
+        costs = kernel.costs
+        body = packet.payload
+        if body.get("op") == "done-ack":
+            # Host-side bookkeeping handled by DownloadMonitor; ignore here.
+            yield kernel.isr_exec(costs.chan_ack_recv)
+            return
+        if self.children:
+            # Store and forward to both children as the text arrives.
+            yield kernel.isr_exec(costs.tree_forward_per_byte * packet.size)
+            for child in self.children:
+                kernel.post(
+                    dst=child, size=packet.size, kind=MessageKind.DOWNLOAD,
+                    payload=body,
+                )
+        else:
+            yield kernel.isr_exec(costs.copy_per_byte * packet.size)
+        self.received_bytes += packet.size
+        if self.received_bytes >= self.expected_bytes and not self._reported:
+            self._reported = True
+            if self.report_to is not None:
+                kernel.post(
+                    dst=self.report_to, size=16, kind=MessageKind.DOWNLOAD,
+                    payload={"op": "done-ack", "node": kernel.address},
+                )
+
+
+class DownloadMonitor:
+    """Host-side completion counter for outstanding downloads."""
+
+    def __init__(self, kernel: "NodeKernel") -> None:
+        self.kernel = kernel
+        self.remaining = 0
+        self.done_event = None
+        kernel.register_handler(MessageKind.DOWNLOAD, self._on_done)
+
+    def expect(self, count: int):
+        self.remaining = count
+        self.done_event = self.kernel.sim.event()
+        return self.done_event
+
+    def _on_done(self, packet: Packet):
+        yield self.kernel.isr_exec(self.kernel.costs.chan_ack_recv)
+        if packet.payload.get("op") != "done-ack":
+            return
+        self.remaining -= 1
+        if self.remaining == 0 and self.done_event is not None:
+            self.done_event.succeed()
+
+
+def _ensure_services(system: "VorxSystem", host_index: int,
+                     node_indices: list[int]) -> DownloadMonitor:
+    host = system.workstation(host_index)
+    monitor = getattr(host, "download_monitor", None)
+    if monitor is None:
+        monitor = DownloadMonitor(host)
+        host.download_monitor = monitor  # type: ignore[attr-defined]
+    for index in node_indices:
+        kernel = system.node(index)
+        if getattr(kernel, "download", None) is None:
+            DownloadService(kernel)
+    return monitor
+
+
+def _send_text(env, dst: int, text_bytes: int) -> None:
+    """Host pushes the program text to ``dst`` in chunk-sized messages.
+
+    Caller must have charged the disk read; this charges the per-byte
+    host network send cost and posts the chunks (the fabric paces itself
+    through hardware flow control).
+    """
+    costs = env.kernel.costs
+    remaining = text_bytes
+    while remaining > 0:
+        chunk = min(remaining, costs.download_chunk_bytes)
+        remaining -= chunk
+        yield from env.compute(costs.host_net_per_byte * chunk, label="net-send")
+        env.kernel.post(
+            dst=dst, size=chunk, kind=MessageKind.DOWNLOAD,
+            payload={"op": "text"},
+        )
+
+
+def download_per_process(
+    system: "VorxSystem",
+    host_index: int,
+    node_indices: list[int],
+    text_bytes: Optional[int] = None,
+) -> DownloadResult:
+    """Section 3.3's slow path: one stub + one full download per process."""
+    if not node_indices:
+        raise DownloadError("no target nodes")
+    costs = system.costs
+    text = text_bytes if text_bytes is not None else costs.program_text_bytes
+    monitor = _ensure_services(system, host_index, node_indices)
+    host = system.workstation(host_index)
+    result: dict = {}
+
+    def host_program(env):
+        start = env.now
+        done = monitor.expect(len(node_indices))
+        for index in node_indices:
+            node = system.node(index)
+            node.download.reset(text, host.address)
+            # Host-centralized work, all serialized here:
+            yield from env.compute(costs.stub_create, label="fork-stub")
+            yield from env.compute(costs.stub_channel_setup, label="stub-chans")
+            yield from env.compute(costs.download_process_fixed, label="proc-init")
+            # "each stub independently downloads a copy of the program"
+            yield from env.compute(costs.host_disk_per_byte * text, label="disk")
+            yield from _send_text(env, node.address, text)
+        yield from env.kernel.block(env.subprocess, BlockReason.INPUT, done)
+        result["elapsed"] = env.now - start
+
+    program = host.spawn(host_program, name="downloader")
+    system.run_until_complete([program])
+    return DownloadResult(
+        scheme="per-process",
+        n_processes=len(node_indices),
+        text_bytes=text,
+        elapsed_us=result["elapsed"],
+        stubs_created=len(node_indices),
+    )
+
+
+def download_tree(
+    system: "VorxSystem",
+    host_index: int,
+    node_indices: list[int],
+    fanout: int = 2,
+    text_bytes: Optional[int] = None,
+) -> DownloadResult:
+    """Section 3.3's fast path: one stub, fan-out tree of copies."""
+    if not node_indices:
+        raise DownloadError("no target nodes")
+    if fanout < 1:
+        raise ValueError(f"fanout must be >= 1, got {fanout}")
+    costs = system.costs
+    text = text_bytes if text_bytes is not None else costs.program_text_bytes
+    monitor = _ensure_services(system, host_index, node_indices)
+    host = system.workstation(host_index)
+    result: dict = {}
+
+    # Build the fan-out tree over the listed nodes.
+    def children_of(position: int) -> list[int]:
+        return [
+            node_indices[child]
+            for child in range(position * fanout + 1,
+                               min(position * fanout + fanout + 1,
+                                   len(node_indices)))
+        ]
+
+    def host_program(env):
+        start = env.now
+        done = monitor.expect(len(node_indices))
+        for position, index in enumerate(node_indices):
+            system.node(index).download.reset(
+                text, host.address,
+                children=[system.node(c).address for c in children_of(position)],
+            )
+        # One stub serves the whole application.
+        yield from env.compute(costs.stub_create, label="fork-stub")
+        yield from env.compute(costs.stub_channel_setup, label="stub-chans")
+        yield from env.compute(costs.host_disk_per_byte * text, label="disk")
+        # Download only the root; the tree replicates.
+        yield from _send_text(env, system.node(node_indices[0]).address, text)
+        # Host still starts every process (the remaining per-process work).
+        for index in node_indices:
+            yield from env.compute(costs.download_process_fixed, label="proc-init")
+        yield from env.kernel.block(env.subprocess, BlockReason.INPUT, done)
+        result["elapsed"] = env.now - start
+
+    program = host.spawn(host_program, name="tree-downloader")
+    system.run_until_complete([program])
+    return DownloadResult(
+        scheme="tree",
+        n_processes=len(node_indices),
+        text_bytes=text,
+        elapsed_us=result["elapsed"],
+        stubs_created=1,
+    )

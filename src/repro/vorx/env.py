@@ -1,0 +1,218 @@
+"""The programming interface handed to simulated application code.
+
+A VORX program is a Python generator function taking an :class:`Env`:
+
+.. code-block:: python
+
+    def worker(env):
+        ch = yield from env.open("results")
+        yield from env.compute(500.0, label="solve")
+        yield from env.write(ch, 1024, payload=answer)
+
+Everything that consumes simulated time is a generator to be driven with
+``yield from``; plain methods are free (bookkeeping only).  The API
+mirrors the paper's: channels with open/read/write/multiplexed-read,
+kernel semaphores, subprocess spawning, user-defined communications
+objects with interrupt handlers or polling, and UNIX system calls
+forwarded to the host stub (when one is attached).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+from repro.vorx.channels import ChannelEndpoint
+from repro.vorx.errors import SyscallError, VorxError
+from repro.vorx.objects import Handler, UserObject
+from repro.vorx.subprocesses import BlockReason, KernelSemaphore, Subprocess
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vorx.kernel import NodeKernel
+
+
+class Env:
+    """One subprocess's view of the kernel."""
+
+    def __init__(self, kernel: "NodeKernel", sp: Subprocess) -> None:
+        self._kernel = kernel
+        self._sp = sp
+
+    # -- identity / introspection -------------------------------------------
+    @property
+    def kernel(self) -> "NodeKernel":
+        return self._kernel
+
+    @property
+    def subprocess(self) -> Subprocess:
+        return self._sp
+
+    @property
+    def node(self) -> int:
+        """This node's fabric address."""
+        return self._kernel.address
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (us)."""
+        return self._kernel.sim.now
+
+    def log(self, tag: str, data: Any = None) -> None:
+        """Record an application event in the node trace."""
+        self._kernel.trace.log(self.now, tag, data)
+
+    # -- computation -----------------------------------------------------------
+    def compute(self, duration: float, label: str = "main"):
+        """Generator: execute ``duration`` us of application code.
+
+        ``label`` attributes the time for the prof tool (Section 6.2).
+        """
+        if duration < 0:
+            raise ValueError(f"negative compute time: {duration}")
+        self._kernel.prof_record(self._sp, label, duration)
+        yield self._kernel.u_exec(self._sp, duration)
+
+    def sleep(self, duration: float):
+        """Generator: block for ``duration`` us (timer wait)."""
+        yield from self._kernel.block(
+            self._sp, BlockReason.TIMER, self._kernel.sim.timeout(duration)
+        )
+
+    # -- channels ---------------------------------------------------------------
+    def open(self, name: str):
+        """Generator: open channel ``name``; blocks until a peer opens it."""
+        endpoint = yield from self._kernel.channels.open(self._sp, name)
+        return endpoint
+
+    def write(self, channel: ChannelEndpoint, nbytes: int, payload: Any = None):
+        """Generator: stop-and-wait write (blocks until acknowledged)."""
+        yield from self._kernel.channels.write(self._sp, channel, nbytes, payload)
+
+    def read(self, channel: ChannelEndpoint):
+        """Generator: read the next message; returns ``(nbytes, payload)``."""
+        result = yield from self._kernel.channels.read(self._sp, channel)
+        return result
+
+    def read_any(self, channels: list[ChannelEndpoint]):
+        """Generator: multiplexed read; returns ``(channel, nbytes, payload)``."""
+        result = yield from self._kernel.channels.read_any(self._sp, channels)
+        return result
+
+    def close(self, channel: ChannelEndpoint):
+        """Generator: close our end and notify the peer."""
+        yield from self._kernel.channels.close(self._sp, channel)
+
+    # -- subprocesses and semaphores ----------------------------------------------
+    def spawn(
+        self,
+        program: Callable[["Env"], Generator],
+        name: Optional[str] = None,
+        priority: int = 0,
+    ) -> Subprocess:
+        """Start another subprocess of this process (shared address space)."""
+        return self._kernel.spawn(
+            program, name=name, priority=priority,
+            process_name=self._sp.process_name,
+        )
+
+    def join(self, sp: Subprocess):
+        """Generator: block until another subprocess finishes."""
+        if sp.process is None:
+            raise VorxError(f"{sp} was never started")
+        if not sp.process.is_alive:
+            return sp.result
+        result = yield from self._kernel.block(
+            self._sp, BlockReason.OTHER, sp.process
+        )
+        return result
+
+    def semaphore(self, value: int = 0, name: str = "sem") -> KernelSemaphore:
+        """Create a kernel semaphore (Section 5's subprocess coordination)."""
+        return KernelSemaphore(self._kernel, value, name)
+
+    def p(self, semaphore: KernelSemaphore):
+        """Generator: P (may block)."""
+        yield from semaphore.p(self._sp)
+
+    def v(self, semaphore: KernelSemaphore):
+        """Generator: V (never blocks; charges the kernel operation)."""
+        yield self._kernel.k_exec(self._kernel.costs.semaphore_op)
+        semaphore.v()
+
+    # -- user-defined communications objects --------------------------------------
+    def create_object(
+        self, name: Optional[str] = None, handler: Optional[Handler] = None
+    ):
+        """Generator: create a user-defined communications object.
+
+        With ``name``, blocks until a peer creates an object of the same
+        name (rendezvous through the object manager).  ``handler`` runs at
+        interrupt level for each arriving message; omit it to use polling
+        via :meth:`obj_poll`.
+        """
+        obj = yield from self._kernel.objects.create(self._sp, name, handler)
+        return obj
+
+    def obj_send(
+        self,
+        obj: UserObject,
+        nbytes: int,
+        payload: Any = None,
+        dst: Optional[int] = None,
+        dst_oid: Optional[int] = None,
+    ):
+        """Generator: direct-to-hardware send; no kernel trap, no flow control."""
+        yield from self._kernel.objects.send(obj, nbytes, payload, dst, dst_oid)
+
+    def obj_poll(self, obj: UserObject):
+        """Generator: test for input (single-subprocess structure, Section 5)."""
+        result = yield from self._kernel.objects.poll(obj)
+        return result
+
+    def disable_interrupts(self) -> None:
+        """Switch the interface to polling mode (Section 5)."""
+        self._kernel.iface.interrupts_enabled = False
+
+    def enable_interrupts(self) -> None:
+        self._kernel.iface.interrupts_enabled = True
+
+    # -- flow-controlled multicast (Section 4.2) ------------------------------------
+    def mc_join(self, name: str):
+        """Generator: join multicast group ``name`` as a receiver."""
+        group = yield from self._kernel.multicast.join(self._sp, name)
+        return group
+
+    def mc_open_send(self, name: str, n_receivers: int):
+        """Generator: open group ``name`` for sending; blocks until
+        ``n_receivers`` members have joined."""
+        handle = yield from self._kernel.multicast.open_send(
+            self._sp, name, n_receivers
+        )
+        return handle
+
+    def mc_send(self, handle, nbytes: int, payload: Any = None):
+        """Generator: flow-controlled multicast; blocks until every
+        member's kernel acknowledged."""
+        yield from self._kernel.multicast.send(self._sp, handle, nbytes, payload)
+
+    def mc_read(self, group):
+        """Generator: read the next multicast message; ``(nbytes, payload)``."""
+        result = yield from self._kernel.multicast.read(self._sp, group)
+        return result
+
+    # -- forwarded UNIX system calls ----------------------------------------------
+    def syscall(self, op: str, *args: Any):
+        """Generator: execute a UNIX system call via the host stub.
+
+        Only available to processes started through a host (see
+        :mod:`repro.vorx.stub`); the call is forwarded to the stub
+        process, executed in the host environment, and the result
+        returned (Section 3.3).
+        """
+        service = getattr(self._kernel, "syscalls", None)
+        if service is None:
+            raise SyscallError(
+                f"{self._kernel.name}: no stub attached; processes must be "
+                "started through a host to use system calls"
+            )
+        result = yield from service.call(self._sp, op, args)
+        return result

@@ -1,0 +1,39 @@
+"""Exception types raised by the VORX kernel to application code."""
+
+from __future__ import annotations
+
+
+class VorxError(Exception):
+    """Base class for all VORX kernel errors."""
+
+
+class ChannelError(VorxError):
+    """Base class for channel errors."""
+
+
+class ChannelClosedError(ChannelError):
+    """The peer closed the channel while an operation was in progress."""
+
+
+class ChannelBusyError(ChannelError):
+    """A second writer/reader entered a single-outstanding-operation path."""
+
+
+class ChannelStateError(ChannelError):
+    """Operation on a channel in the wrong state (e.g. write before open)."""
+
+
+class ObjectError(VorxError):
+    """Errors from the user-defined communications object layer."""
+
+
+class AllocationError(VorxError):
+    """Processor allocation failed (e.g. "processors not available")."""
+
+
+class DownloadError(VorxError):
+    """Program download failed."""
+
+
+class SyscallError(VorxError):
+    """A forwarded UNIX system call failed on the host."""

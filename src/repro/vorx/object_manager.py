@@ -1,0 +1,174 @@
+"""The communications object manager (paper Section 3.2).
+
+Meglos centralized all resource management on a single host, which made
+channel opens a serious bottleneck beyond ~10 processors.  VORX replicates
+the *communications object manager* onto every processing node and uses
+**distributed hashing** to map a channel name to the node whose manager
+handles opens for that name -- two processes opening the same name always
+hash to the same manager, so it can pair them.
+
+This module implements both organisations behind one interface:
+
+* ``distributed`` -- managers on every node, names hashed over them
+  (VORX; the default).
+* ``centralized`` -- a single manager address handles every open
+  (Meglos-style; used by experiment E9 to reproduce the bottleneck).
+
+User-defined communications objects rendezvous through the same mechanism
+(Section 4.1: "integrated with the object manager").
+
+Pairing is FIFO per name, which also provides the paper's server
+name-reuse semantics: a server re-opening the same name repeatedly pairs
+with successive clients.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.hpc.message import MessageKind, Packet
+from repro.vorx.subprocesses import BlockReason, Subprocess
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.events import Event
+    from repro.vorx.kernel import NodeKernel
+
+#: Wire size of manager requests and replies.
+MANAGER_MESSAGE_BYTES = 48
+
+
+def name_hash(name: str) -> int:
+    """Deterministic hash used for distributed name placement."""
+    return zlib.crc32(name.encode("utf-8"))
+
+
+class ObjectManagerService:
+    """Per-kernel object manager: both the server piece and the client side."""
+
+    def __init__(self, kernel: "NodeKernel") -> None:
+        self.kernel = kernel
+        #: Manager addresses names are hashed over.  Set by the system
+        #: builder; a single-element list gives the centralized (Meglos)
+        #: organisation.
+        self.manager_addresses: list[int] = [kernel.address]
+        #: Server side: (kind, name) -> FIFO of waiting opens.
+        self._pending: dict[tuple[str, str], deque[tuple[int, int, int]]] = {}
+        #: Client side: token -> event for replies in flight.
+        self._waiting: dict[int, "Event"] = {}
+        self._next_token = 1
+        #: Opens handled by this node's manager piece (statistics for E9).
+        self.opens_handled = 0
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def node_for(self, name: str) -> int:
+        """The manager address responsible for ``name``."""
+        if not self.manager_addresses:
+            raise RuntimeError("object manager has no configured addresses")
+        return self.manager_addresses[name_hash(name) % len(self.manager_addresses)]
+
+    # ------------------------------------------------------------------
+    # client side (subprocess context)
+    # ------------------------------------------------------------------
+    def request_open(self, sp: Subprocess, name: str, eid: int, kind: str):
+        """Generator: ask the responsible manager to pair this open.
+
+        Blocks the subprocess until a peer opens the same name.  Returns
+        ``(peer_address, peer_id)``.
+        """
+        kernel = self.kernel
+        token = self._next_token
+        self._next_token += 1
+        event = kernel.sim.event()
+        self._waiting[token] = event
+        manager = self.node_for(name)
+        request = {
+            "op": "open",
+            "kind": kind,
+            "name": name,
+            "addr": kernel.address,
+            "id": eid,
+            "token": token,
+        }
+        if manager == kernel.address:
+            # Local shortcut: no wire traversal, but the manager's
+            # processing cost is still paid.
+            yield kernel.k_exec(kernel.costs.chan_open_kernel)
+            self._handle_open(request)
+        else:
+            kernel.post(
+                dst=manager,
+                size=MANAGER_MESSAGE_BYTES,
+                kind=MessageKind.MANAGER,
+                payload=request,
+            )
+        try:
+            reply = yield from kernel.block(sp, BlockReason.INPUT, event)
+        finally:
+            self._waiting.pop(token, None)
+        return reply
+
+    # ------------------------------------------------------------------
+    # server side (ISR context)
+    # ------------------------------------------------------------------
+    def on_manager(self, packet: Packet):
+        """Generator (ISR context): manager protocol traffic."""
+        kernel = self.kernel
+        request = packet.payload
+        op = request["op"]
+        if op == "open":
+            yield kernel.isr_exec(kernel.costs.chan_open_kernel)
+            self._handle_open(request)
+        elif op == "open-reply":
+            yield kernel.isr_exec(kernel.costs.chan_ack_recv)
+            event = self._waiting.get(request["token"])
+            if event is not None:
+                event.succeed((request["peer_addr"], request["peer_id"]))
+        else:  # pragma: no cover - future ops
+            raise ValueError(f"unknown manager op {op!r}")
+
+    def _handle_open(self, request: dict) -> None:
+        """Pair FIFO opens of the same (kind, name)."""
+        self.opens_handled += 1
+        key = (request["kind"], request["name"])
+        queue = self._pending.setdefault(key, deque())
+        if queue:
+            partner_addr, partner_id, partner_token = queue.popleft()
+            self._deliver_reply(
+                partner_addr, partner_token, request["addr"], request["id"]
+            )
+            self._deliver_reply(
+                request["addr"], request["token"], partner_addr, partner_id
+            )
+        else:
+            queue.append((request["addr"], request["id"], request["token"]))
+
+    def _deliver_reply(
+        self, addr: int, token: int, peer_addr: int, peer_id: int
+    ) -> None:
+        kernel = self.kernel
+        if addr == kernel.address:
+            event = self._waiting.get(token)
+            if event is not None:
+                event.succeed((peer_addr, peer_id))
+            return
+        kernel.post(
+            dst=addr,
+            size=MANAGER_MESSAGE_BYTES,
+            kind=MessageKind.MANAGER,
+            payload={
+                "op": "open-reply",
+                "token": token,
+                "peer_addr": peer_addr,
+                "peer_id": peer_id,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_opens(self) -> int:
+        """Unpaired opens waiting at this manager (for tools/tests)."""
+        return sum(len(q) for q in self._pending.values())

@@ -1,0 +1,282 @@
+"""Processor allocation policies (paper Section 3.1).
+
+Meglos allocated processors *when an application started running* and
+returned them to the free pool when it finished -- maximising sharing,
+but causing the notorious failure mode: while a programmer recompiles,
+someone else grabs the processors with exclusive access, and the rerun
+greets the programmer with **"processors not available"**.
+
+VORX instead requires a user to *allocate* the processors for a whole
+development session; nobody else can take them until the user explicitly
+frees them.  The cost is the dual failure mode: users forget to free
+processors, so VORX also provides a (dangerous) command to free another
+user's processors.
+
+:class:`ProcessorPool` implements both policies behind one interface, and
+:func:`simulate_development` runs the Monte-Carlo developer workload used
+by experiment E12: edit/compile/run cycles for several developers sharing
+one machine.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.engine import Simulator
+from repro.vorx.errors import AllocationError
+
+
+class ProcessorPool:
+    """The machine's pool of processing nodes with ownership tracking."""
+
+    def __init__(self, n_processors: int) -> None:
+        if n_processors < 1:
+            raise ValueError(f"need at least one processor, got {n_processors}")
+        self.n_processors = n_processors
+        #: processor index -> owning user (None = free).
+        self.owner: dict[int, Optional[str]] = {i: None for i in range(n_processors)}
+        #: processor index -> running application name (None = idle).
+        self.running: dict[int, Optional[str]] = {
+            i: None for i in range(n_processors)
+        }
+        self.allocation_failures = 0
+        self.force_frees = 0
+
+    # -- queries -----------------------------------------------------------
+    def free_processors(self) -> list[int]:
+        return [i for i, user in self.owner.items() if user is None]
+
+    def owned_by(self, user: str) -> list[int]:
+        return [i for i, owner in self.owner.items() if owner == user]
+
+    def idle_owned_by(self, user: str) -> list[int]:
+        return [i for i in self.owned_by(user) if self.running[i] is None]
+
+    # -- VORX policy: allocate-for-session -------------------------------------
+    def allocate(self, user: str, count: int) -> list[int]:
+        """Reserve ``count`` processors for ``user`` until freed.
+
+        Raises :class:`AllocationError` ("processors not available") if
+        the free pool is too small.
+        """
+        free = self.free_processors()
+        if len(free) < count:
+            self.allocation_failures += 1
+            raise AllocationError(
+                f"processors not available: {user} wants {count}, "
+                f"{len(free)} free"
+            )
+        taken = free[:count]
+        for i in taken:
+            self.owner[i] = user
+        return taken
+
+    def free(self, user: str, processors: Optional[list[int]] = None) -> int:
+        """Release ``user``'s processors (all of them by default)."""
+        targets = processors if processors is not None else self.owned_by(user)
+        released = 0
+        for i in targets:
+            if self.owner[i] != user:
+                raise AllocationError(
+                    f"{user} does not own processor {i} "
+                    f"(owner: {self.owner[i]})"
+                )
+            if self.running[i] is not None:
+                raise AllocationError(
+                    f"processor {i} is still running {self.running[i]}"
+                )
+            self.owner[i] = None
+            released += 1
+        return released
+
+    def force_free(self, requestor: str, victim: str) -> int:
+        """The paper's carefully-used command: free another user's
+        processors."""
+        self.force_frees += 1
+        count = 0
+        for i in self.owned_by(victim):
+            self.running[i] = None
+            self.owner[i] = None
+            count += 1
+        return count
+
+    # -- running applications ------------------------------------------------------
+    def start_run(self, user: str, app: str, count: int, policy: str) -> list[int]:
+        """Bind ``count`` processors to a run of ``app``.
+
+        ``policy="meglos"`` draws directly from the free pool (exclusive
+        access, allocate-on-run); ``policy="vorx"`` draws from the user's
+        session allocation.  Raises :class:`AllocationError` on shortage.
+        """
+        if policy == "meglos":
+            free = self.free_processors()
+            if len(free) < count:
+                self.allocation_failures += 1
+                raise AllocationError(
+                    f"processors not available: {app} wants {count}, "
+                    f"{len(free)} free"
+                )
+            taken = free[:count]
+            for i in taken:
+                self.owner[i] = user
+                self.running[i] = app
+            return taken
+        if policy == "vorx":
+            idle = self.idle_owned_by(user)
+            if len(idle) < count:
+                self.allocation_failures += 1
+                raise AllocationError(
+                    f"{user} owns only {len(idle)} idle processors, "
+                    f"{app} wants {count}"
+                )
+            taken = idle[:count]
+            for i in taken:
+                self.running[i] = app
+            return taken
+        raise ValueError(f"unknown policy {policy!r}")
+
+    def end_run(self, processors: list[int], policy: str) -> None:
+        """A run finished; under Meglos the processors return to the pool."""
+        for i in processors:
+            self.running[i] = None
+            if policy == "meglos":
+                self.owner[i] = None
+
+    def utilisation(self) -> float:
+        """Fraction of processors currently bound to a running app."""
+        busy = sum(1 for app in self.running.values() if app is not None)
+        return busy / self.n_processors
+
+
+@dataclass
+class DeveloperStats:
+    """Per-developer outcome of the Monte-Carlo workload."""
+
+    user: str
+    runs_attempted: int = 0
+    runs_completed: int = 0
+    failures: int = 0  # "processors not available"
+    wait_time: float = 0.0  # time lost to retries
+
+
+@dataclass
+class DevelopmentResult:
+    """Outcome of :func:`simulate_development`."""
+
+    policy: str
+    stats: list[DeveloperStats]
+    #: Time-averaged fraction of processors held but idle (the VORX
+    #: policy's cost, especially with forgotten frees).
+    held_idle_fraction: float
+    force_frees: int
+
+    @property
+    def total_failures(self) -> int:
+        return sum(s.failures for s in self.stats)
+
+    @property
+    def failure_rate(self) -> float:
+        attempts = sum(s.runs_attempted for s in self.stats)
+        return self.total_failures / attempts if attempts else 0.0
+
+
+def simulate_development(
+    policy: str,
+    n_processors: int = 8,
+    n_developers: int = 3,
+    processors_per_app: int = 4,
+    n_cycles: int = 40,
+    edit_mean_us: float = 180e6,  # ~3 minutes editing/recompiling
+    run_mean_us: float = 60e6,  # ~1 minute test run
+    forget_free_probability: float = 0.15,
+    forgotten_hold_us: float = 3_600e6,  # "no activity for several hours"
+    seed: int = 1990,
+) -> DevelopmentResult:
+    """Monte-Carlo reproduction of the Section 3.1 developer contention.
+
+    Each developer loops: edit/recompile (exponential think time), then
+    run their application on ``processors_per_app`` processors.  Under
+    ``meglos`` the run may fail with "processors not available" (someone
+    else grabbed them mid-edit); the developer retries after a delay.
+    Under ``vorx`` each developer allocates a session's worth up front
+    and can always rerun -- but with probability
+    ``forget_free_probability`` a finished developer forgets to free, and
+    the processors sit idle until an operator force-frees them.
+    """
+    if policy not in ("meglos", "vorx"):
+        raise ValueError(f"unknown policy {policy!r}")
+    sim = Simulator()
+    rng = random.Random(seed)
+    pool = ProcessorPool(n_processors)
+    stats = [DeveloperStats(user=f"dev{i}") for i in range(n_developers)]
+    # Integrated (processors held but idle) x time, for the utilisation cost.
+    held_idle_area = [0.0]
+    last_sample = [0.0]
+
+    def sample_held_idle() -> None:
+        now = sim.now
+        held_idle = sum(
+            1
+            for i, user in pool.owner.items()
+            if user is not None and pool.running[i] is None
+        )
+        held_idle_area[0] += held_idle * (now - last_sample[0])
+        last_sample[0] = now
+
+    def developer(stat: DeveloperStats):
+        user = stat.user
+        if policy == "vorx":
+            # Allocate the session's processors up front; retry until the
+            # pool has room (e.g. a predecessor's forgotten allocation
+            # must be force-freed first).
+            while True:
+                sample_held_idle()
+                try:
+                    pool.allocate(user, processors_per_app)
+                    break
+                except AllocationError:
+                    yield sim.timeout(rng.expovariate(1.0 / (30e6)))
+        for _ in range(n_cycles):
+            # Edit / recompile.
+            yield sim.timeout(rng.expovariate(1.0 / edit_mean_us))
+            # Run.
+            stat.runs_attempted += 1
+            while True:
+                sample_held_idle()
+                try:
+                    procs = pool.start_run(user, f"{user}-app",
+                                           processors_per_app, policy)
+                    break
+                except AllocationError:
+                    stat.failures += 1
+                    stat.runs_attempted += 1
+                    retry = rng.expovariate(1.0 / (20e6))
+                    stat.wait_time += retry
+                    yield sim.timeout(retry)
+            yield sim.timeout(rng.expovariate(1.0 / run_mean_us))
+            sample_held_idle()
+            pool.end_run(procs, policy)
+        # Session over.
+        if policy == "vorx":
+            sample_held_idle()
+            if rng.random() < forget_free_probability:
+                # Forgotten: processors sit idle until force-freed.
+                yield sim.timeout(forgotten_hold_us)
+                sample_held_idle()
+                pool.force_free("operator", user)
+            else:
+                pool.free(user)
+
+    for stat in stats:
+        sim.process(developer(stat))
+    sim.run()
+    sample_held_idle()
+    total_area = n_processors * sim.now if sim.now > 0 else 1.0
+    return DevelopmentResult(
+        policy=policy,
+        stats=stats,
+        held_idle_fraction=held_idle_area[0] / total_area,
+        force_frees=pool.force_frees,
+    )

@@ -1,0 +1,142 @@
+"""Subprocesses: VORX's threads (paper Section 5).
+
+*"Subprocesses are parts of a process that execute asynchronously with
+each other.  Each subprocess is an independently scheduled thread of
+execution that may block for communications or other events without
+affecting the execution of the other subprocesses ...  distinct execution
+priorities can be specified for each subprocess and the scheduler is
+preemptive."*
+
+A :class:`Subprocess` is the kernel-side record; the user's code is a
+generator driven through :class:`repro.vorx.env.Env`.  All subprocesses of
+a process share an address space (in the simulation: ordinary shared
+Python state), and each costs a full 80 us context switch to dispatch
+after blocking (all fixed and floating point registers).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.process import Process
+    from repro.vorx.kernel import NodeKernel
+
+
+class SubprocessState(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class BlockReason(str, enum.Enum):
+    """Why a subprocess is blocked -- drives the oscilloscope's idle split."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    SEMAPHORE = "semaphore"
+    TIMER = "timer"
+    OTHER = "other"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Subprocess:
+    """Kernel record for one thread of a process."""
+
+    _next_serial = 0
+
+    def __init__(
+        self,
+        kernel: "NodeKernel",
+        name: str,
+        priority: int = 0,
+        process_name: Optional[str] = None,
+    ) -> None:
+        if priority < 0:
+            raise ValueError(f"priority must be >= 0, got {priority}")
+        self.kernel = kernel
+        self.name = name
+        #: 0 is the highest subprocess priority (paper: distinct execution
+        #: priorities, preemptive scheduler).
+        self.priority = priority
+        #: The process (address space) this subprocess belongs to.
+        self.process_name = process_name or name
+        self.state = SubprocessState.READY
+        self.blocked_on: Optional[BlockReason] = None
+        self.result: Any = None
+        #: The sim process driving the user generator (set by the kernel).
+        self.process: Optional["Process"] = None
+        self.uid = f"{kernel.name}.{name}#{Subprocess._next_serial}"
+        Subprocess._next_serial += 1
+
+    @property
+    def cpu_priority(self) -> int:
+        """Map subprocess priority onto the CPU's priority space."""
+        from repro.sim.cpu import PRIORITY_USER
+
+        return PRIORITY_USER + self.priority
+
+    @property
+    def is_live(self) -> bool:
+        return self.state not in (SubprocessState.DONE, SubprocessState.FAILED)
+
+    def __repr__(self) -> str:
+        return f"<Subprocess {self.uid} {self.state.value}>"
+
+
+class KernelSemaphore:
+    """A VORX kernel semaphore for subprocess synchronisation (Section 5).
+
+    Unlike the engine-level :class:`repro.sim.resources.Semaphore`, P and V
+    charge kernel CPU time and blocking/waking a subprocess charges the
+    context switch, exactly like any other kernel blocking point.  ``V``
+    may be called from interrupt handlers (it never blocks).
+    """
+
+    def __init__(self, kernel: "NodeKernel", value: int = 0, name: str = "sem") -> None:
+        if value < 0:
+            raise ValueError(f"semaphore value must be >= 0, got {value}")
+        self.kernel = kernel
+        self.name = name
+        self.value = value
+        self._waiters: list[tuple["Subprocess", Any]] = []  # (sp, event)
+
+    def p(self, sp: "Subprocess"):
+        """Generator: P (down).  Blocks the subprocess when value == 0."""
+        kernel = self.kernel
+        yield kernel.k_exec(kernel.costs.semaphore_op)
+        if self.value > 0 and not self._waiters:
+            self.value -= 1
+            return
+        event = kernel.sim.event()
+        self._waiters.append((sp, event))
+        yield from kernel.block(sp, BlockReason.SEMAPHORE, event)
+
+    def try_p(self) -> bool:
+        """Non-blocking P; no CPU charge (used inside handlers)."""
+        if self.value > 0 and not self._waiters:
+            self.value -= 1
+            return True
+        return False
+
+    def v(self) -> None:
+        """V (up).  Safe from interrupt context; wakes the oldest waiter.
+
+        The caller is responsible for charging CPU time
+        (:attr:`~repro.model.costs.CostModel.semaphore_op`) in its own
+        context; this keeps V usable from ISRs without re-entering the CPU.
+        """
+        if self._waiters:
+            _sp, event = self._waiters.pop(0)
+            event.succeed()
+        else:
+            self.value += 1
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)

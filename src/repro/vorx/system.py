@@ -1,0 +1,197 @@
+"""Top-level system builder: fabric + kernels, ready to run programs.
+
+:class:`VorxSystem` assembles a complete HPC/VORX machine: an HPC fabric
+of the right shape for the requested node count, one
+:class:`~repro.vorx.kernel.NodeKernel` per processing node and per host
+workstation, and the distributed object manager spanning the processing
+nodes.  It is the main entry point of the library:
+
+.. code-block:: python
+
+    from repro import VorxSystem
+
+    system = VorxSystem(n_nodes=2)
+
+    def sender(env):
+        ch = yield from env.open("data")
+        yield from env.write(ch, 1024)
+
+    def receiver(env):
+        ch = yield from env.open("data")
+        size, _ = yield from env.read(ch)
+        return size
+
+    system.spawn(0, sender)
+    rx = system.spawn(1, receiver)
+    system.run()
+    assert rx.result == 1024
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Iterable, Optional
+
+from repro.hpc.topology import build_lam_system, build_single_cluster
+from repro.model.costs import CostModel, DEFAULT_COSTS
+from repro.sim.engine import Simulator
+from repro.vorx.kernel import NodeKernel
+from repro.vorx.subprocesses import Subprocess
+
+
+class VorxSystem:
+    """A complete simulated HPC/VORX installation."""
+
+    def __init__(
+        self,
+        n_nodes: int = 2,
+        n_workstations: int = 0,
+        costs: CostModel = DEFAULT_COSTS,
+        sim: Optional[Simulator] = None,
+        manager: str = "distributed",
+    ) -> None:
+        """Build the machine.
+
+        Parameters
+        ----------
+        n_nodes:
+            Processing nodes in the pool.
+        n_workstations:
+            Host workstations (for stub/download/host experiments).
+        manager:
+            ``"distributed"`` (VORX: object manager replicated on every
+            node, names spread by distributed hashing) or
+            ``"centralized"`` (Meglos-style: one manager handles every
+            open -- the Section 3.2 bottleneck, for experiment E9).
+        """
+        if n_nodes < 1:
+            raise ValueError(f"need at least one node, got {n_nodes}")
+        if manager not in ("distributed", "centralized"):
+            raise ValueError(f"unknown manager organisation {manager!r}")
+        self.sim = sim or Simulator()
+        self.costs = costs
+        total = n_nodes + n_workstations
+        if total <= 12 and total >= 2:
+            self.fabric = build_single_cluster(self.sim, costs, total)
+            node_addrs = list(range(n_nodes))
+            ws_addrs = list(range(n_nodes, total))
+            # Rename workstation interfaces for readable traces.
+            for i, addr in enumerate(ws_addrs):
+                self.fabric.iface(addr).name = f"ws{i}"
+        elif total < 2:
+            # A single node still needs a cluster to hang off.
+            self.fabric = build_single_cluster(self.sim, costs, 2)
+            node_addrs, ws_addrs = [0], []
+        else:
+            self.fabric, node_addrs, ws_addrs = build_lam_system(
+                self.sim, costs, n_nodes, n_workstations
+            )
+        self.node_addresses = node_addrs
+        self.workstation_addresses = ws_addrs
+        self.nodes: list[NodeKernel] = [
+            NodeKernel(self.sim, costs, self.fabric.iface(addr), f"node{i}")
+            for i, addr in enumerate(node_addrs)
+        ]
+        self.workstations: list[NodeKernel] = [
+            NodeKernel(
+                self.sim, costs, self.fabric.iface(addr), f"ws{i}", is_host=True
+            )
+            for i, addr in enumerate(ws_addrs)
+        ]
+        if manager == "distributed":
+            manager_addrs = list(node_addrs)
+        else:
+            manager_addrs = [node_addrs[0]]
+        for kernel in self.nodes + self.workstations:
+            kernel.manager.manager_addresses = manager_addrs
+        self.manager_organisation = manager
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def node(self, index: int) -> NodeKernel:
+        """Kernel of processing node ``index``."""
+        return self.nodes[index]
+
+    def workstation(self, index: int) -> NodeKernel:
+        """Kernel of host workstation ``index``."""
+        return self.workstations[index]
+
+    def kernel_at(self, address: int) -> NodeKernel:
+        """Kernel by fabric address."""
+        for kernel in self.nodes + self.workstations:
+            if kernel.address == address:
+                return kernel
+        raise KeyError(f"no kernel at address {address}")
+
+    @property
+    def all_kernels(self) -> list[NodeKernel]:
+        return self.nodes + self.workstations
+
+    # ------------------------------------------------------------------
+    # running programs
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        node_index: int,
+        program: Callable[..., Generator],
+        name: Optional[str] = None,
+        priority: int = 0,
+        process_name: Optional[str] = None,
+    ) -> Subprocess:
+        """Start ``program`` as a subprocess on processing node ``node_index``."""
+        return self.nodes[node_index].spawn(
+            program, name=name, priority=priority, process_name=process_name
+        )
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run the simulation (to quiescence, or to a deadline)."""
+        self.sim.run(until=until)
+
+    def run_until_complete(
+        self, subprocesses: Iterable[Subprocess], timeout: Optional[float] = None
+    ) -> None:
+        """Run until every given subprocess finishes.
+
+        Raises ``TimeoutError`` if a ``timeout`` (absolute simulation
+        time) passes first -- used by the deadlock/lockout experiments.
+        """
+        pending = [sp for sp in subprocesses]
+        for sp in pending:
+            if sp.process is None:
+                raise ValueError(f"{sp} was never started")
+        while True:
+            unfinished = [sp for sp in pending if sp.process.is_alive]
+            if not unfinished:
+                return
+            if timeout is not None and self.sim.peek() > timeout:
+                raise TimeoutError(
+                    f"{len(unfinished)} subprocess(es) still running at "
+                    f"t={self.sim.now:.0f}us: "
+                    + ", ".join(sp.uid for sp in unfinished[:5])
+                )
+            if self.sim.peek() == float("inf"):
+                states = ", ".join(
+                    f"{sp.uid}[{sp.state.value}"
+                    f"{':' + str(sp.blocked_on) if sp.blocked_on else ''}]"
+                    for sp in unfinished[:8]
+                )
+                raise RuntimeError(
+                    f"simulation quiesced with unfinished subprocesses "
+                    f"(deadlock?): {states}"
+                )
+            self.sim.step()
+
+    def stats(self) -> dict:
+        """System-wide statistics for reports and tests."""
+        return {
+            "fabric": self.fabric.stats(),
+            "context_switches": {
+                k.name: k.context_switches for k in self.all_kernels
+            },
+            "packets_posted": {
+                k.name: k.packets_posted for k in self.all_kernels
+            },
+            "manager_opens": {
+                k.name: k.manager.opens_handled for k in self.all_kernels
+            },
+        }

@@ -1,0 +1,59 @@
+"""Unit tests for the benchmark harness formatting and comparisons."""
+
+import pytest
+
+from repro.bench import Comparison, ComparisonTable, format_table, within
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["alpha", 1.0], ["b", 123.5]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "name" in lines[0] and "value" in lines[0]
+    assert set(lines[1]) <= {"-", " "}
+    assert "123.5" in lines[3]
+
+
+def test_format_table_mixed_types():
+    text = format_table(["a"], [[42], ["word"], [3.14159]])
+    assert "42" in text and "word" in text and "3.1" in text
+
+
+def test_within():
+    assert within(105.0, 100.0, 0.05)
+    assert not within(106.0, 100.0, 0.05)
+    assert within(0.0, 0.0, 0.1)
+    assert not within(1.0, 0.0, 0.1)
+
+
+def test_comparison_deviation():
+    c = Comparison("x", paper=100.0, measured=110.0, unit="us")
+    assert c.deviation == pytest.approx(0.10)
+    assert "+10.0%" in c.row()[-1]
+    zero = Comparison("z", paper=0.0, measured=0.0)
+    assert zero.deviation == 0.0
+
+
+def test_comparison_table_rendering():
+    table = ComparisonTable("Demo table")
+    table.add("latency", 303, 302.7, "us")
+    table.add("bandwidth", 1027, 1003.7, "kbyte/s")
+    table.note("calibrated against Table 2")
+    text = table.format()
+    assert "Demo table" in text
+    assert "-0.1%" in text
+    assert "note: calibrated" in text
+    assert table.worst_deviation() == pytest.approx(23.3 / 1027, rel=0.05)
+
+
+def test_comparison_table_markdown():
+    table = ComparisonTable("T")
+    table.add("a", 10, 11.0)
+    md = table.markdown()
+    assert md.startswith("### T")
+    assert "| a | 10 | 11.0 |" in md
+    assert "+10.0%" in md
+
+
+def test_empty_table_worst_deviation():
+    assert ComparisonTable("empty").worst_deviation() == 0.0

@@ -1,0 +1,92 @@
+"""Tests for the CEMU-style parallel logic simulator."""
+
+import pytest
+
+from repro.apps.cemu import Circuit, Gate, CemuResult, run_cemu, simulate_serial
+
+
+# ------------------------------------------------------------- gates
+def test_gate_evaluation():
+    values = [0, 1, 1]
+    assert Gate(3, "and", (0, 1)).evaluate(values) == 0
+    assert Gate(3, "and", (1, 2)).evaluate(values) == 1
+    assert Gate(3, "or", (0, 1)).evaluate(values) == 1
+    assert Gate(3, "xor", (1, 2)).evaluate(values) == 0
+    assert Gate(3, "nand", (1, 2)).evaluate(values) == 0
+    assert Gate(3, "not", (0,)).evaluate(values) == 1
+    with pytest.raises(ValueError):
+        Gate(3, "input", ()).evaluate(values)
+
+
+# ------------------------------------------------------------- serial sim
+def test_serial_simulation_settles():
+    circuit = Circuit(n_inputs=2)
+    circuit.gates.append(Gate(2, "and", (0, 1)))
+    circuit.gates.append(Gate(3, "not", (2,)))
+    values = simulate_serial(circuit, [1, 1], timesteps=3)
+    assert values[2] == 1
+    assert values[3] == 0
+
+
+def test_serial_input_validation():
+    circuit = Circuit.random(n_inputs=4, n_gates=8)
+    with pytest.raises(ValueError):
+        simulate_serial(circuit, [1, 0], timesteps=1)
+
+
+@pytest.mark.parametrize("a,b,cin", [(0, 0, 0), (255, 255, 1),
+                                     (173, 89, 0), (100, 27, 1)])
+def test_ripple_adder_adds(a, b, cin):
+    bits = 8
+    adder = Circuit.ripple_adder(bits=bits)
+    inputs = (
+        [(a >> i) & 1 for i in range(bits)]
+        + [(b >> i) & 1 for i in range(bits)]
+        + [cin]
+    )
+    # Unit-delay gates need ~5 steps per stage to settle the ripple.
+    values = simulate_serial(adder, inputs, timesteps=6 * bits)
+    total = sum(values[adder.sum_gate(i)] << i for i in range(bits))
+    total += values[adder.carry_gate(bits - 1)] << bits
+    assert total == a + b + cin
+
+
+# ------------------------------------------------------------- parallel sim
+@pytest.mark.parametrize("p", [1, 2, 4, 8])
+def test_parallel_matches_serial(p):
+    result = run_cemu(p=p, timesteps=8)
+    assert result.correct
+
+
+def test_parallel_adder_matches_serial():
+    adder = Circuit.ripple_adder(bits=4)
+    inputs = [1, 0, 1, 0, 0, 1, 1, 0, 1]
+    result = run_cemu(circuit=adder, inputs=inputs, p=4, timesteps=24)
+    assert result.correct
+
+
+def test_events_are_changes_only():
+    """Quiescent circuits send (nearly) empty batches: change traffic."""
+    circuit = Circuit.random(n_inputs=4, n_gates=32, seed=3)
+    inputs = [0, 0, 0, 0]
+    long = run_cemu(circuit=circuit, inputs=inputs, p=2, timesteps=20)
+    assert long.correct
+    # With all-zero inputs the circuit settles; once settled no more
+    # change events flow even though batch messages continue.
+    short = run_cemu(circuit=circuit, inputs=inputs, p=2, timesteps=5)
+    assert long.events_sent == short.events_sent  # all changes early
+
+
+def test_partition_validation():
+    circuit = Circuit.random(n_gates=8)
+    with pytest.raises(ValueError):
+        run_cemu(circuit=circuit, p=0)
+    with pytest.raises(ValueError):
+        run_cemu(circuit=circuit, p=100)
+
+
+def test_deterministic_given_seed():
+    a = run_cemu(p=4, timesteps=6, seed=11)
+    b = run_cemu(p=4, timesteps=6, seed=11)
+    assert a.elapsed_us == b.elapsed_us
+    assert a.events_sent == b.events_sent

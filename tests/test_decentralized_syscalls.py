@@ -1,0 +1,113 @@
+"""Tests for the decentralized syscall scheme (Section 3.3 future work)."""
+
+import pytest
+
+from repro import VorxSystem
+from repro.vorx import SyscallError
+from repro.vorx.syscalls import attach_decentralized_stubs
+
+
+def test_calls_spread_over_hosts():
+    system = VorxSystem(n_nodes=1, n_workstations=3)
+    services = attach_decentralized_stubs(system, [0, 1, 2], [0])
+
+    def program(env):
+        for _ in range(9):
+            yield from env.syscall("getpid")
+
+    sp = system.spawn(0, program)
+    system.run_until_complete([sp])
+    distribution = services[0].distribution()
+    # Nine sequential calls with least-outstanding routing: each host
+    # serves some of them.
+    assert sum(distribution.values()) == 9
+    assert len([host for host, n in distribution.items() if n > 0]) >= 1
+
+
+def test_filesystem_is_shared_across_hosts():
+    """A file written through one host is readable through another."""
+    system = VorxSystem(n_nodes=2, n_workstations=2)
+    attach_decentralized_stubs(system, [0], [0])
+    attach_decentralized_stubs(system, [1], [1])
+    # Different hosts -- but attach with a shared filesystem:
+    system2 = VorxSystem(n_nodes=2, n_workstations=2)
+    services = attach_decentralized_stubs(system2, [0, 1], [0, 1])
+
+    def writer(env):
+        fd = yield from env.syscall("open", "/shared/data", "w")
+        yield from env.syscall("write", fd, b"cross-host")
+        yield from env.syscall("close", fd)
+
+    def reader(env):
+        yield from env.sleep(100_000.0)
+        fd = yield from env.syscall("open", "/shared/data", "r")
+        data = yield from env.syscall("read", fd, 100)
+        yield from env.syscall("close", fd)
+        return data
+
+    system2.spawn(0, writer)
+    rx = system2.spawn(1, reader)
+    system2.run_until_complete([rx])
+    assert rx.result == b"cross-host"
+
+
+def test_descriptor_affinity_preserved():
+    """fd operations return to the host that opened the descriptor."""
+    system = VorxSystem(n_nodes=1, n_workstations=2)
+    services = attach_decentralized_stubs(system, [0, 1], [0])
+
+    def program(env):
+        fd = yield from env.syscall("open", "/f", "w")
+        for i in range(6):
+            yield from env.syscall("write", fd, f"chunk{i};".encode())
+        yield from env.syscall("close", fd)
+        fd = yield from env.syscall("open", "/f", "r")
+        data = yield from env.syscall("read", fd, 200)
+        yield from env.syscall("close", fd)
+        return data
+
+    sp = system.spawn(0, program)
+    system.run_until_complete([sp])
+    assert sp.result == b"".join(f"chunk{i};".encode() for i in range(6))
+
+
+def test_blocking_call_no_longer_stalls_other_hosts():
+    """The whole point: one blocked stub leaves other hosts available."""
+    system = VorxSystem(n_nodes=2, n_workstations=2)
+    attach_decentralized_stubs(system, [0, 1], [0, 1])
+    times = {}
+
+    def blocker(env):
+        yield from env.syscall("stdin_read", 500_000.0)
+
+    def worker(env):
+        yield from env.sleep(5_000.0)
+        for _ in range(5):
+            yield from env.syscall("getpid")
+        times["worker"] = env.now
+
+    b = system.spawn(0, blocker)
+    w = system.spawn(1, worker)
+    system.run_until_complete([b, w])
+    # The worker's calls were served by hosts with free stubs.
+    assert times["worker"] < 100_000.0
+
+
+def test_error_propagates_with_host_context():
+    system = VorxSystem(n_nodes=1, n_workstations=2)
+    attach_decentralized_stubs(system, [0, 1], [0])
+
+    def program(env):
+        with pytest.raises(SyscallError, match="ENOENT"):
+            yield from env.syscall("open", "/missing", "r")
+        return "handled"
+
+    sp = system.spawn(0, program)
+    system.run_until_complete([sp])
+    assert sp.result == "handled"
+
+
+def test_requires_at_least_one_host():
+    system = VorxSystem(n_nodes=1, n_workstations=1)
+    with pytest.raises(ValueError):
+        attach_decentralized_stubs(system, [], [0])

@@ -1,0 +1,71 @@
+"""Edge cases of the engine's run/step machinery."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.engine import EmptySchedule
+
+
+def test_step_on_empty_queue_raises():
+    sim = Simulator()
+    with pytest.raises(EmptySchedule):
+        sim.step()
+
+
+def test_run_until_unreachable_event_raises():
+    sim = Simulator()
+    never = sim.event()
+    sim.timeout(10.0)
+    with pytest.raises(RuntimeError, match="ran out of events"):
+        sim.run(until=never)
+
+
+def test_run_until_failed_event_raises_its_exception():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+        raise KeyError("inner")
+
+    p = sim.process(proc())
+    with pytest.raises(KeyError):
+        sim.run(until=p)
+
+
+def test_run_to_quiescence_returns_none():
+    sim = Simulator()
+    sim.timeout(5.0)
+    assert sim.run() is None
+    assert sim.now == 5.0
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+
+    def proc():
+        value = yield sim.timeout(1.0, value="tick")
+        return value
+
+    p = sim.process(proc())
+    assert sim.run(until=p) == "tick"
+
+
+def test_handle_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.call_later(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+
+
+def test_interleaved_run_until_calls():
+    sim = Simulator()
+    fired = []
+    for t in (10.0, 20.0, 30.0):
+        sim.call_later(t, fired.append, t)
+    sim.run(until=15.0)
+    assert fired == [10.0]
+    sim.run(until=25.0)
+    assert fired == [10.0, 20.0]
+    sim.run()
+    assert fired == [10.0, 20.0, 30.0]

@@ -1,0 +1,129 @@
+"""Unit tests for the host OS substrate: filesystem and fd tables."""
+
+import pytest
+
+from repro.hostos import EBADF, EMFILE, ENOENT, FileSystem, HostProcess
+from repro.hostos.filesystem import FileSystemError
+
+
+# ----------------------------------------------------------- filesystem
+def test_create_write_read_roundtrip():
+    fs = FileSystem()
+    fs.create("/a/b", b"hello")
+    assert fs.exists("/a/b")
+    assert fs.read("/a/b", 0, 100) == b"hello"
+    assert fs.size("/a/b") == 5
+
+
+def test_write_extends_with_zero_fill():
+    fs = FileSystem()
+    fs.create("/f")
+    fs.write("/f", 4, b"xy")
+    assert fs.read("/f", 0, 10) == b"\0\0\0\0xy"
+
+
+def test_partial_reads_and_offsets():
+    fs = FileSystem()
+    fs.create("/f", b"0123456789")
+    assert fs.read("/f", 3, 4) == b"3456"
+    assert fs.read("/f", 8, 10) == b"89"
+    assert fs.read("/f", 20, 5) == b""
+    with pytest.raises(FileSystemError):
+        fs.read("/f", -1, 5)
+
+
+def test_unlink_and_listdir():
+    fs = FileSystem()
+    fs.create("/tmp/a")
+    fs.create("/tmp/b")
+    fs.create("/var/c")
+    assert fs.listdir("/tmp/") == ["/tmp/a", "/tmp/b"]
+    fs.unlink("/tmp/a")
+    assert fs.listdir("/tmp/") == ["/tmp/b"]
+    with pytest.raises(FileSystemError):
+        fs.unlink("/tmp/a")
+
+
+def test_missing_file_and_bad_paths():
+    fs = FileSystem()
+    with pytest.raises(FileSystemError):
+        fs.read("/nope", 0, 1)
+    with pytest.raises(FileSystemError):
+        fs.create("")
+    with pytest.raises(FileSystemError):
+        fs.create("/dir/")
+
+
+# ----------------------------------------------------------- host process
+def test_open_read_write_via_fds():
+    fs = FileSystem()
+    proc = HostProcess("p", fs)
+    fd = proc.open("/log", "w")
+    assert proc.write(fd, b"entry1;") == 7
+    proc.write(fd, b"entry2;")
+    proc.close(fd)
+    fd = proc.open("/log", "r")
+    assert proc.read(fd, 100) == b"entry1;entry2;"
+
+
+def test_append_mode_and_seek():
+    fs = FileSystem()
+    proc = HostProcess("p", fs)
+    fd = proc.open("/f", "w")
+    proc.write(fd, b"abc")
+    proc.close(fd)
+    fd = proc.open("/f", "a")
+    proc.write(fd, b"def")
+    proc.seek(fd, 0)
+    assert proc.read(fd, 6) == b"abcdef"
+    with pytest.raises(OSError):
+        proc.seek(fd, -1)
+
+
+def test_read_only_fd_rejects_writes():
+    fs = FileSystem()
+    fs.create("/f", b"x")
+    proc = HostProcess("p", fs)
+    fd = proc.open("/f", "r")
+    with pytest.raises(OSError) as err:
+        proc.write(fd, b"y")
+    assert err.value.args[0] == EBADF
+
+
+def test_missing_file_read_mode():
+    proc = HostProcess("p", FileSystem())
+    with pytest.raises(OSError) as err:
+        proc.open("/nope", "r")
+    assert err.value.args[0] == ENOENT
+
+
+def test_fd_limit_is_32_minus_stdio():
+    """SunOS's 32-descriptor limit (paper Section 3.3)."""
+    proc = HostProcess("p", FileSystem())
+    fds = [proc.open(f"/f{i}", "w") for i in range(29)]
+    with pytest.raises(OSError) as err:
+        proc.open("/one-more", "w")
+    assert err.value.args[0] == EMFILE
+    proc.close(fds[0])
+    proc.open("/now-fits", "w")  # freed slot is reusable
+
+
+def test_bad_fd_operations():
+    proc = HostProcess("p", FileSystem())
+    with pytest.raises(OSError):
+        proc.read(99, 1)
+    with pytest.raises(OSError):
+        proc.close(99)
+    with pytest.raises(ValueError):
+        proc.open("/f", "x")
+    with pytest.raises(ValueError):
+        HostProcess("p", FileSystem(), fd_limit=0)
+
+
+def test_close_all():
+    proc = HostProcess("p", FileSystem())
+    for i in range(5):
+        proc.open(f"/f{i}", "w")
+    assert proc.open_fds == 5
+    proc.close_all()
+    assert proc.open_fds == 0

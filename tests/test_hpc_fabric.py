@@ -1,0 +1,304 @@
+"""Unit tests for the HPC interconnect: links, clusters, routing, delivery."""
+
+import pytest
+
+from repro.model import DEFAULT_COSTS
+from repro.sim import Simulator
+from repro.hpc import (
+    Packet,
+    MessageKind,
+    build_single_cluster,
+    build_hypercube,
+)
+from repro.hpc.topology import build_lam_system, hypercube_dimensions
+
+
+def make_packet(src, dst, size=64, kind=MessageKind.USER_OBJECT):
+    return Packet(src=src, dst=dst, size=size, kind=kind)
+
+
+# ------------------------------------------------------------- messages
+def test_packet_validation():
+    with pytest.raises(ValueError):
+        Packet(src=1, dst=1, size=4, kind=MessageKind.USER_OBJECT)
+    with pytest.raises(ValueError):
+        Packet(src=0, dst=1, size=-1, kind=MessageKind.USER_OBJECT)
+
+
+def test_packet_seq_monotone():
+    a = make_packet(0, 1)
+    b = make_packet(0, 1)
+    assert b.seq > a.seq
+
+
+# ------------------------------------------------------------- single cluster
+def test_single_cluster_delivery():
+    sim = Simulator()
+    fabric = build_single_cluster(sim, DEFAULT_COSTS, 4)
+    src, dst = fabric.iface(0), fabric.iface(3)
+    received = []
+
+    def receiver():
+        packet = yield from dst.recv()
+        received.append((sim.now, packet))
+
+    sim.process(receiver())
+    src.send(make_packet(0, 3, size=100))
+    sim.run()
+    assert len(received) == 1
+    _, packet = received[0]
+    assert packet.size == 100
+    assert packet.hops == 2  # node->cluster, cluster->node
+
+
+def test_single_cluster_wire_time():
+    sim = Simulator()
+    costs = DEFAULT_COSTS
+    fabric = build_single_cluster(sim, costs, 2)
+    dst = fabric.iface(1)
+    arrival = []
+
+    def receiver():
+        yield from dst.recv()
+        arrival.append(sim.now)
+
+    sim.process(receiver())
+    fabric.iface(0).send(make_packet(0, 1, size=1024))
+    sim.run()
+    expected = 2 * (costs.hpc_wire_time(1024) + costs.hpc_hop_latency)
+    assert arrival[0] == pytest.approx(expected)
+
+
+def test_oversized_packet_rejected():
+    sim = Simulator()
+    fabric = build_single_cluster(sim, DEFAULT_COSTS, 2)
+    with pytest.raises(ValueError, match="fragment"):
+        fabric.iface(0).send(make_packet(0, 1, size=2000))
+
+
+def test_wrong_source_address_rejected():
+    sim = Simulator()
+    fabric = build_single_cluster(sim, DEFAULT_COSTS, 3)
+    with pytest.raises(ValueError, match="src"):
+        fabric.iface(0).send(make_packet(1, 2))
+
+
+def test_single_cluster_size_limits():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        build_single_cluster(sim, DEFAULT_COSTS, 13)
+    with pytest.raises(ValueError):
+        build_single_cluster(sim, DEFAULT_COSTS, 1)
+
+
+def test_fifo_delivery_between_same_pair():
+    sim = Simulator()
+    fabric = build_single_cluster(sim, DEFAULT_COSTS, 2)
+    dst = fabric.iface(1)
+    got = []
+
+    def receiver():
+        for _ in range(5):
+            packet = yield from dst.recv()
+            got.append(packet.channel)
+
+    sim.process(receiver())
+    for i in range(5):
+        fabric.iface(0).send(
+            Packet(src=0, dst=1, size=10, kind=MessageKind.USER_OBJECT, channel=i)
+        )
+    sim.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_flow_control_backpressure():
+    """A slow receiver stalls senders instead of losing messages."""
+    sim = Simulator()
+    costs = DEFAULT_COSTS
+    fabric = build_single_cluster(sim, costs, 2)
+    dst = fabric.iface(1)
+    n_messages = 20
+    received = []
+
+    def slow_receiver():
+        while len(received) < n_messages:
+            packet = yield dst.rx.get()
+            yield sim.timeout(500.0)  # much slower than the wire
+            dst.rx.free()
+            received.append(packet.seq)
+
+    sim.process(slow_receiver())
+    seqs = []
+    for _ in range(n_messages):
+        p = make_packet(0, 1, size=1000)
+        seqs.append(p.seq)
+        fabric.iface(0).send(p)
+    sim.run()
+    assert received == seqs  # nothing lost, order preserved
+
+
+def test_many_to_one_is_fair():
+    """Every sender is eventually serviced (Section 2's fairness)."""
+    sim = Simulator()
+    fabric = build_single_cluster(sim, DEFAULT_COSTS, 9)
+    dst = fabric.iface(8)
+    per_sender = 10
+    counts = {}
+
+    def receiver():
+        for _ in range(8 * per_sender):
+            packet = yield from dst.recv()
+            counts[packet.src] = counts.get(packet.src, 0) + 1
+
+    sim.process(receiver())
+    for src in range(8):
+        for _ in range(per_sender):
+            fabric.iface(src).send(make_packet(src, 8, size=1000))
+    sim.run()
+    assert counts == {src: per_sender for src in range(8)}
+
+
+# ------------------------------------------------------------- hypercube
+def test_hypercube_dimensions():
+    assert hypercube_dimensions(1) == 0
+    assert hypercube_dimensions(2) == 1
+    assert hypercube_dimensions(3) == 2
+    assert hypercube_dimensions(4) == 2
+    assert hypercube_dimensions(256) == 8
+    with pytest.raises(ValueError):
+        hypercube_dimensions(0)
+
+
+def test_hypercube_paper_config_port_budget():
+    """256 clusters x (8 dimension ports + 4 node ports) = 1024 nodes."""
+    sim = Simulator()
+    fabric = build_hypercube(sim, DEFAULT_COSTS, 256, 4)
+    stats = fabric.stats()
+    assert stats["clusters"] == 256
+    assert stats["endpoints"] == 1024
+    # Every cluster uses exactly 12 ports: 8 to neighbours, 4 to nodes.
+    assert all(used == 12 for used in stats["port_utilisation"].values())
+    # 256 * 8 / 2 bidirectional cluster pairs.
+    assert stats["cluster_links"] == 1024
+
+
+def test_hypercube_too_many_ports_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        build_hypercube(sim, DEFAULT_COSTS, 256, 5)  # 8 + 5 > 12
+
+
+def test_hypercube_cross_cluster_delivery():
+    sim = Simulator()
+    fabric = build_hypercube(sim, DEFAULT_COSTS, 8, 2)  # 16 nodes, 3 dims
+    src, dst = fabric.iface(0), fabric.iface(15)
+    got = []
+
+    def receiver():
+        packet = yield from dst.recv()
+        got.append(packet)
+
+    sim.process(receiver())
+    src.send(make_packet(0, 15, size=256))
+    sim.run()
+    assert len(got) == 1
+    # Node 0 is on cluster 0, node 15 on cluster 7: 3 cluster hops
+    # + entry + exit links = 5 link traversals.
+    assert got[0].hops == 5
+
+
+def test_incomplete_hypercube_connectivity():
+    """An incomplete hypercube (paper ref [8]) still routes everywhere."""
+    sim = Simulator()
+    fabric = build_hypercube(sim, DEFAULT_COSTS, 5, 2)  # 5 of 8 vertices
+    addresses = sorted(fabric.interfaces)
+    for src in addresses:
+        for dst in addresses:
+            if src != dst:
+                assert fabric.reachable(src, dst), (src, dst)
+
+
+def test_incomplete_hypercube_delivery_all_pairs():
+    sim = Simulator()
+    fabric = build_hypercube(sim, DEFAULT_COSTS, 3, 2)  # 6 nodes
+    addresses = sorted(fabric.interfaces)
+    expected = [(s, d) for s in addresses for d in addresses if s != d]
+    got = []
+
+    def receiver(iface, n):
+        for _ in range(n):
+            packet = yield from iface.recv()
+            got.append((packet.src, packet.dst))
+
+    for addr in addresses:
+        sim.process(receiver(fabric.iface(addr), len(addresses) - 1))
+    for src, dst in expected:
+        fabric.iface(src).send(make_packet(src, dst, size=16))
+    sim.run()
+    assert sorted(got) == sorted(expected)
+
+
+# ------------------------------------------------------------- LAM system
+def test_lam_system_shape():
+    sim = Simulator()
+    fabric, nodes, workstations = build_lam_system(sim, DEFAULT_COSTS)
+    assert len(nodes) == 70
+    assert len(workstations) == 10
+    assert fabric.stats()["clusters"] == 10
+
+
+def test_lam_system_node_to_workstation_delivery():
+    sim = Simulator()
+    fabric, nodes, workstations = build_lam_system(
+        sim, DEFAULT_COSTS, n_nodes=6, n_workstations=2, nodes_per_cluster=4
+    )
+    ws = fabric.iface(workstations[0])
+    got = []
+
+    def receiver():
+        packet = yield from ws.recv()
+        got.append(packet.src)
+
+    sim.process(receiver())
+    fabric.iface(nodes[0]).send(make_packet(nodes[0], workstations[0], size=512))
+    sim.run()
+    assert got == [nodes[0]]
+
+
+def test_fabric_double_wiring_rejected():
+    sim = Simulator()
+    fabric = build_single_cluster(sim, DEFAULT_COSTS, 2)
+    cluster = fabric.clusters[0]
+    iface = fabric.new_interface()
+    with pytest.raises(ValueError, match="already wired"):
+        fabric.attach(cluster, 0, iface)
+    with pytest.raises(ValueError, match="no port"):
+        fabric.attach(cluster, 99, iface)
+
+
+def test_rx_interrupt_fires_on_delivery():
+    sim = Simulator()
+    fabric = build_single_cluster(sim, DEFAULT_COSTS, 2)
+    dst = fabric.iface(1)
+    fired = []
+    dst.set_rx_interrupt(lambda: fired.append(sim.now))
+    fabric.iface(0).send(make_packet(0, 1))
+    sim.run()
+    assert len(fired) == 1
+    assert dst.rx_pending == 1
+    packet = dst.read()
+    assert packet is not None and packet.src == 0
+    assert dst.read() is None
+
+
+def test_rx_interrupt_disabled_for_polling():
+    sim = Simulator()
+    fabric = build_single_cluster(sim, DEFAULT_COSTS, 2)
+    dst = fabric.iface(1)
+    fired = []
+    dst.set_rx_interrupt(lambda: fired.append(sim.now))
+    dst.interrupts_enabled = False
+    fabric.iface(0).send(make_packet(0, 1))
+    sim.run()
+    assert fired == []
+    assert dst.rx_pending == 1

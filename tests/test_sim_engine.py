@@ -1,0 +1,198 @@
+"""Unit tests for the DES engine core (events, clock, queue ordering)."""
+
+import pytest
+
+from repro.sim import Simulator, Event, Timeout, AnyOf, AllOf
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    sim.timeout(10.0)
+    sim.run()
+    assert sim.now == 10.0
+
+
+def test_run_until_time_stops_clock_exactly():
+    sim = Simulator()
+    sim.timeout(100.0)
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_run_until_event_returns_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(5.0)
+        return "done"
+
+    p = sim.process(proc())
+    assert sim.run(until=p) == "done"
+    assert sim.now == 5.0
+
+
+def test_run_until_past_deadline_rejected():
+    sim = Simulator()
+    sim.timeout(10.0)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.run(until=5.0)
+
+
+def test_events_process_in_time_order():
+    sim = Simulator()
+    order = []
+    for delay in (30.0, 10.0, 20.0):
+        sim.call_later(delay, order.append, delay)
+    sim.run()
+    assert order == [10.0, 20.0, 30.0]
+
+
+def test_simultaneous_events_process_in_schedule_order():
+    sim = Simulator()
+    order = []
+    for i in range(5):
+        sim.call_later(7.0, order.append, i)
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_call_later_cancel():
+    sim = Simulator()
+    fired = []
+    handle = sim.call_later(5.0, fired.append, 1)
+    handle.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.call_later(-1.0, lambda: None)
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_event_succeed_value():
+    sim = Simulator()
+    ev = sim.event()
+    assert not ev.triggered
+    ev.succeed(99)
+    assert ev.triggered
+    assert ev.ok
+    assert ev.value == 99
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed()
+    with pytest.raises(RuntimeError):
+        ev.succeed()
+    with pytest.raises(RuntimeError):
+        ev.fail(ValueError("x"))
+
+
+def test_event_value_before_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(RuntimeError):
+        _ = ev.value
+    with pytest.raises(RuntimeError):
+        _ = ev.ok
+
+
+def test_failed_event_with_no_waiter_propagates():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(ValueError("unhandled failure"))
+    with pytest.raises(ValueError, match="unhandled failure"):
+        sim.run()
+
+
+def test_failed_event_defused_does_not_propagate():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(ValueError("handled"))
+    ev.defuse()
+    sim.run()  # no raise
+
+
+def test_fail_requires_exception():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_anyof_fires_on_first():
+    sim = Simulator()
+    a, b = sim.timeout(10.0, "a"), sim.timeout(20.0, "b")
+    done = {}
+
+    def proc():
+        result = yield AnyOf(sim, [a, b])
+        done.update(result)
+
+    sim.process(proc())
+    sim.run()
+    assert list(done.values()) == ["a"]
+
+
+def test_allof_waits_for_all():
+    sim = Simulator()
+    a, b = sim.timeout(10.0, "a"), sim.timeout(20.0, "b")
+    times = []
+
+    def proc():
+        result = yield AllOf(sim, [a, b])
+        times.append(sim.now)
+        assert set(result.values()) == {"a", "b"}
+
+    sim.process(proc())
+    sim.run()
+    assert times == [20.0]
+
+
+def test_empty_condition_triggers_immediately():
+    sim = Simulator()
+    cond = AllOf(sim, [])
+    assert cond.triggered
+    assert cond.value == {}
+
+
+def test_peek_skips_cancelled_handles():
+    sim = Simulator()
+    h = sim.call_later(1.0, lambda: None)
+    sim.call_later(5.0, lambda: None)
+    h.cancel()
+    assert sim.peek() == 5.0
+
+
+def test_peek_empty_queue_is_inf():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+
+
+def test_determinism_two_identical_runs():
+    def build():
+        sim = Simulator()
+        log = []
+
+        def worker(name, delay):
+            for i in range(3):
+                yield sim.timeout(delay)
+                log.append((sim.now, name, i))
+
+        for n, d in [("a", 3.0), ("b", 5.0), ("c", 3.0)]:
+            sim.process(worker(n, d))
+        sim.run()
+        return log
+
+    assert build() == build()

@@ -1,0 +1,185 @@
+"""Unit tests for engine-level semaphores, resources, and stores."""
+
+import pytest
+
+from repro.sim import Simulator, Semaphore, Store, Resource
+
+
+# ---------------------------------------------------------------- Semaphore
+def test_semaphore_immediate_acquire():
+    sim = Simulator()
+    sem = Semaphore(sim, value=2)
+    assert sem.acquire().triggered
+    assert sem.acquire().triggered
+    assert sem.value == 0
+
+
+def test_semaphore_blocks_then_wakes_fifo():
+    sim = Simulator()
+    sem = Semaphore(sim, value=0)
+    order = []
+
+    def waiter(name):
+        yield sem.acquire()
+        order.append(name)
+
+    for n in ("first", "second", "third"):
+        sim.process(waiter(n))
+
+    def releaser():
+        yield sim.timeout(5.0)
+        sem.release(3)
+
+    sim.process(releaser())
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_semaphore_try_acquire():
+    sim = Simulator()
+    sem = Semaphore(sim, value=1)
+    assert sem.try_acquire()
+    assert not sem.try_acquire()
+    sem.release()
+    assert sem.try_acquire()
+
+
+def test_semaphore_try_acquire_respects_waiters():
+    sim = Simulator()
+    sem = Semaphore(sim, value=0)
+
+    def waiter():
+        yield sem.acquire()
+
+    sim.process(waiter())
+    sim.run()
+    sem.release()
+    # The unit went to the waiter, not to a try_acquire that cuts the line.
+    assert not sem.try_acquire()
+
+
+def test_semaphore_invalid_args():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Semaphore(sim, value=-1)
+    sem = Semaphore(sim)
+    with pytest.raises(ValueError):
+        sem.release(0)
+
+
+def test_resource_in_use_accounting():
+    sim = Simulator()
+    res = Resource(sim, capacity=3)
+    res.acquire()
+    res.acquire()
+    assert res.in_use == 2
+    res.release()
+    assert res.in_use == 1
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+# ---------------------------------------------------------------- Store
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer():
+        for i in range(3):
+            yield store.put(i)
+            yield sim.timeout(1.0)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    times = []
+
+    def consumer():
+        item = yield store.get()
+        times.append((sim.now, item))
+
+    def producer():
+        yield sim.timeout(7.0)
+        yield store.put("x")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert times == [(7.0, "x")]
+
+
+def test_store_capacity_blocks_put():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    log = []
+
+    def producer():
+        yield store.put("a")
+        log.append(("put-a", sim.now))
+        yield store.put("b")  # blocks until "a" is taken
+        log.append(("put-b", sim.now))
+
+    def consumer():
+        yield sim.timeout(10.0)
+        item = yield store.get()
+        log.append(("got", item, sim.now))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert log == [("put-a", 0.0), ("got", "a", 10.0), ("put-b", 10.0)]
+
+
+def test_store_try_put_and_try_get():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    assert store.try_put(1)
+    assert not store.try_put(2)
+    ok, item = store.try_get()
+    assert ok and item == 1
+    ok, item = store.try_get()
+    assert not ok and item is None
+
+
+def test_store_put_hands_to_waiting_getter():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append(item)
+
+    sim.process(consumer())
+    sim.run()
+    assert store.try_put("direct")
+    sim.run()
+    assert got == ["direct"]
+    assert len(store) == 0
+
+
+def test_store_items_snapshot():
+    sim = Simulator()
+    store = Store(sim)
+    store.try_put(1)
+    store.try_put(2)
+    assert store.items == (1, 2)
+    assert len(store) == 2
+
+
+def test_store_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Store(sim, capacity=0)

@@ -1,0 +1,214 @@
+"""Edge-case and regression tests for the channel service."""
+
+import dataclasses
+
+import pytest
+
+from repro import VorxSystem
+from repro.model import DEFAULT_COSTS
+from repro.vorx import ChannelBusyError, ChannelStateError
+
+
+def test_data_arriving_before_open_reply_is_ackable():
+    """Regression: with single-message port buffers, a sender whose open
+    completes first can have data arrive at the receiver before the
+    receiver's own open-reply; the ack must still be addressed correctly
+    (it carries the sender's endpoint id in the data header)."""
+    costs = dataclasses.replace(DEFAULT_COSTS, hpc_port_buffers=1)
+    system = VorxSystem(n_nodes=7, costs=costs)
+    n_senders = 6
+
+    def sender(env, who):
+        ch = yield from env.open(f"race-{who}")
+        for _ in range(5):
+            yield from env.write(ch, 1000)
+        return "done"
+
+    def receiver(env):
+        channels = []
+        for who in range(n_senders):
+            ch = yield from env.open(f"race-{who}")
+            channels.append(ch)
+        for _ in range(5 * n_senders):
+            yield from env.read_any(channels)
+        return "done"
+
+    senders = [system.spawn(i, lambda env, i=i: sender(env, i))
+               for i in range(n_senders)]
+    rx = system.spawn(n_senders, receiver)
+    system.run_until_complete(senders + [rx])
+    assert all(s.result == "done" for s in senders)
+    assert rx.result == "done"
+
+
+def test_zero_byte_write():
+    system = VorxSystem(n_nodes=2)
+
+    def sender(env):
+        ch = yield from env.open("zero")
+        yield from env.write(ch, 0, payload="empty")
+
+    def receiver(env):
+        ch = yield from env.open("zero")
+        size, payload = yield from env.read(ch)
+        return size, payload
+
+    system.spawn(0, sender)
+    rx = system.spawn(1, receiver)
+    system.run()
+    assert rx.result == (0, "empty")
+
+
+def test_negative_write_rejected():
+    system = VorxSystem(n_nodes=2)
+
+    def sender(env):
+        ch = yield from env.open("neg")
+        with pytest.raises(ValueError):
+            yield from env.write(ch, -5)
+        yield from env.write(ch, 1)
+
+    def receiver(env):
+        ch = yield from env.open("neg")
+        yield from env.read(ch)
+
+    system.spawn(0, sender)
+    system.spawn(1, receiver)
+    system.run()
+
+
+def test_write_before_open_completes_rejected():
+    system = VorxSystem(n_nodes=2)
+
+    def racer(env):
+        # Grab an endpoint object without completing the rendezvous.
+        from repro.vorx.channels import ChannelEndpoint
+
+        endpoint = ChannelEndpoint(99, "fake", env.subprocess)
+        with pytest.raises(ChannelStateError):
+            yield from env.write(endpoint, 4)
+        return "rejected"
+
+    sp = system.spawn(0, racer)
+    system.run()
+    assert sp.result == "rejected"
+
+
+def test_concurrent_writes_same_endpoint_rejected():
+    system = VorxSystem(n_nodes=2)
+    outcome = {}
+
+    def writer(env):
+        ch = yield from env.open("dbl")
+
+        def second(env2):
+            try:
+                yield from env2.write(ch, 4)
+            except ChannelBusyError:
+                outcome["second"] = "busy"
+
+        env.spawn(second, name="second")
+        yield from env.write(ch, 4)
+
+    def reader(env):
+        ch = yield from env.open("dbl")
+        yield from env.sleep(50_000.0)
+        yield from env.read(ch)
+
+    system.spawn(0, writer)
+    system.spawn(1, reader)
+    system.run()
+    assert outcome.get("second") == "busy"
+
+
+def test_close_wakes_blocked_writer():
+    from repro.vorx import ChannelClosedError
+
+    costs = dataclasses.replace(DEFAULT_COSTS, chan_side_buffers=1)
+    system = VorxSystem(n_nodes=2, costs=costs)
+
+    def writer(env):
+        ch = yield from env.open("cw")
+        try:
+            # First write buffers; second is dropped (1 side buffer) and
+            # the writer blocks awaiting a retry that never comes.
+            yield from env.write(ch, 64)
+            yield from env.write(ch, 64)
+        except ChannelClosedError:
+            return "woken-by-close"
+        return "completed"
+
+    def closer(env):
+        ch = yield from env.open("cw")
+        yield from env.sleep(20_000.0)
+        yield from env.close(ch)
+
+    w = system.spawn(0, writer)
+    system.spawn(1, closer)
+    system.run()
+    assert w.result == "woken-by-close"
+
+
+def test_read_after_local_close_raises():
+    from repro.vorx import ChannelClosedError
+
+    system = VorxSystem(n_nodes=2)
+
+    def a(env):
+        ch = yield from env.open("rc")
+        yield from env.close(ch)
+        with pytest.raises(ChannelClosedError):
+            yield from env.read(ch)
+        return "ok"
+
+    def b(env):
+        ch = yield from env.open("rc")
+        # Peer may or may not read; just rendezvous.
+
+    sa = system.spawn(0, a)
+    system.spawn(1, b)
+    system.run()
+    assert sa.result == "ok"
+
+
+def test_buffered_data_still_readable_after_peer_close():
+    """Close marks the channel, but data already in side buffers was
+    acknowledged and must be deliverable."""
+    system = VorxSystem(n_nodes=2)
+
+    def sender(env):
+        ch = yield from env.open("drain")
+        yield from env.write(ch, 32, payload="last words")
+        yield from env.close(ch)
+
+    def receiver(env):
+        ch = yield from env.open("drain")
+        yield from env.sleep(10_000.0)  # let data + close both arrive
+        size, payload = yield from env.read(ch)
+        return payload
+
+    system.spawn(0, sender)
+    rx = system.spawn(1, receiver)
+    system.run()
+    assert rx.result == "last words"
+
+
+def test_stale_data_for_closed_channel_dropped():
+    """Messages racing a close are consumed and dropped, not crashed on."""
+    system = VorxSystem(n_nodes=2)
+
+    def sender(env):
+        ch = yield from env.open("stale")
+        yield from env.write(ch, 16, payload=1)
+
+    def receiver(env):
+        ch = yield from env.open("stale")
+        # Close before the (in-flight) data is processed.
+        ch.closed = True
+        yield from env.sleep(10_000.0)
+        return "survived"
+
+    system.spawn(0, sender)
+    rx = system.spawn(1, receiver)
+    system.run(until=5_000_000.0)
+    assert rx.result == "survived"

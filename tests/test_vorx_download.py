@@ -1,0 +1,76 @@
+"""Unit tests for the program download schemes (Section 3.3)."""
+
+import pytest
+
+from repro import VorxSystem
+from repro.vorx.download import (
+    DownloadError,
+    download_per_process,
+    download_tree,
+)
+
+
+def test_per_process_download_completes():
+    system = VorxSystem(n_nodes=4, n_workstations=1)
+    result = download_per_process(system, 0, [0, 1, 2, 3])
+    assert result.scheme == "per-process"
+    assert result.n_processes == 4
+    assert result.stubs_created == 4
+    # Every node received the full program text.
+    for i in range(4):
+        assert system.node(i).download.received_bytes >= result.text_bytes
+
+
+def test_tree_download_completes_with_one_stub():
+    system = VorxSystem(n_nodes=6, n_workstations=1)
+    result = download_tree(system, 0, list(range(6)))
+    assert result.stubs_created == 1
+    for i in range(6):
+        assert system.node(i).download.received_bytes >= result.text_bytes
+
+
+def test_tree_beats_per_process():
+    n = 12
+    s1 = VorxSystem(n_nodes=n, n_workstations=1)
+    per_process = download_per_process(s1, 0, list(range(n)))
+    s2 = VorxSystem(n_nodes=n, n_workstations=1)
+    tree = download_tree(s2, 0, list(range(n)))
+    assert tree.seconds < per_process.seconds
+
+
+def test_tree_fanout_three():
+    system = VorxSystem(n_nodes=8, n_workstations=1)
+    result = download_tree(system, 0, list(range(8)), fanout=3)
+    assert result.n_processes == 8
+    for i in range(8):
+        assert system.node(i).download.received_bytes >= result.text_bytes
+
+
+def test_single_node_tree_degenerates_gracefully():
+    system = VorxSystem(n_nodes=1, n_workstations=1)
+    result = download_tree(system, 0, [0])
+    assert result.n_processes == 1
+
+
+def test_custom_text_size():
+    system = VorxSystem(n_nodes=2, n_workstations=1)
+    small = download_per_process(system, 0, [0, 1], text_bytes=10_000)
+    assert small.text_bytes == 10_000
+
+
+def test_download_argument_validation():
+    system = VorxSystem(n_nodes=2, n_workstations=1)
+    with pytest.raises(DownloadError):
+        download_per_process(system, 0, [])
+    with pytest.raises(DownloadError):
+        download_tree(system, 0, [])
+    with pytest.raises(ValueError):
+        download_tree(system, 0, [0], fanout=0)
+
+
+def test_sequential_downloads_on_same_system():
+    """The services reset per run; a second download works."""
+    system = VorxSystem(n_nodes=3, n_workstations=1)
+    first = download_tree(system, 0, [0, 1, 2])
+    second = download_tree(system, 0, [0, 1, 2])
+    assert first.n_processes == second.n_processes == 3

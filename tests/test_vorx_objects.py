@@ -1,0 +1,158 @@
+"""Unit tests for user-defined communications objects (Section 4.1)."""
+
+import pytest
+
+from repro import VorxSystem
+from repro.vorx import ObjectError
+
+
+def test_named_objects_rendezvous():
+    system = VorxSystem(n_nodes=2)
+
+    def a(env):
+        obj = yield from env.create_object("pair")
+        return obj.connected, obj.peer_addr
+
+    def b(env):
+        obj = yield from env.create_object("pair")
+        return obj.connected, obj.peer_addr
+
+    sa = system.spawn(0, a)
+    sb = system.spawn(1, b)
+    system.run_until_complete([sa, sb])
+    assert sa.result == (True, system.node(1).address)
+    assert sb.result == (True, system.node(0).address)
+
+
+def test_anonymous_object_requires_explicit_destination():
+    system = VorxSystem(n_nodes=2)
+
+    def a(env):
+        obj = yield from env.create_object()  # anonymous
+        assert not obj.connected
+        with pytest.raises(ObjectError):
+            yield from env.obj_send(obj, 16)
+        # Explicit addressing works.
+        yield from env.obj_send(obj, 16, dst=system.node(1).address,
+                                dst_oid=1)
+        return "sent"
+
+    def b(env):
+        obj = yield from env.create_object()  # oid 1 on node 1
+        while True:
+            packet = yield from env.obj_poll(obj)
+            if packet is not None:
+                return packet.size
+            yield from env.sleep(100.0)
+
+    sa = system.spawn(0, a)
+    sb = system.spawn(1, b)
+    system.run_until_complete([sa, sb])
+    assert sa.result == "sent"
+    assert sb.result == 16
+
+
+def test_handler_runs_at_interrupt_level():
+    system = VorxSystem(n_nodes=2)
+    fired = []
+
+    def receiver(env):
+        def handler(packet):
+            fired.append((env.now, packet.payload))
+
+        obj = yield from env.create_object("isr", handler=handler)
+        # The subprocess sleeps; the handler fires anyway (ISR context).
+        yield from env.sleep(100_000.0)
+        return len(fired)
+
+    def sender(env):
+        obj = yield from env.create_object("isr")
+        for i in range(3):
+            yield from env.obj_send(obj, 8, payload=i)
+
+    rx = system.spawn(0, receiver)
+    system.spawn(1, sender)
+    system.run_until_complete([rx])
+    assert rx.result == 3
+    assert [payload for _, payload in fired] == [0, 1, 2]
+    # All deliveries happened while the subprocess slept.
+    assert all(t < 100_000.0 for t, _ in fired)
+
+
+def test_handlerless_object_queues_for_polling():
+    system = VorxSystem(n_nodes=2)
+
+    def receiver(env):
+        obj = yield from env.create_object("queue")
+        yield from env.sleep(50_000.0)
+        got = []
+        while True:
+            packet = yield from env.obj_poll(obj)
+            if packet is None:
+                break
+            got.append(packet.payload)
+        return got
+
+    def sender(env):
+        obj = yield from env.create_object("queue")
+        for i in range(4):
+            yield from env.obj_send(obj, 8, payload=i)
+
+    rx = system.spawn(0, receiver)
+    system.spawn(1, sender)
+    system.run_until_complete([rx])
+    assert rx.result == [0, 1, 2, 3]
+
+
+def test_oversized_user_message_rejected():
+    system = VorxSystem(n_nodes=2)
+
+    def a(env):
+        obj = yield from env.create_object("big")
+        with pytest.raises(ObjectError, match="fragment"):
+            yield from env.obj_send(obj, 5000)
+        return "ok"
+
+    def b(env):
+        yield from env.create_object("big")
+
+    sa = system.spawn(0, a)
+    system.spawn(1, b)
+    system.run_until_complete([sa])
+    assert sa.result == "ok"
+
+
+def test_message_counters():
+    system = VorxSystem(n_nodes=2)
+    objs = {}
+
+    def a(env):
+        obj = yield from env.create_object("count")
+        objs["a"] = obj
+        for _ in range(5):
+            yield from env.obj_send(obj, 8)
+
+    def b(env):
+        obj = yield from env.create_object("count", handler=lambda p: None)
+        objs["b"] = obj
+        yield from env.sleep(100_000.0)
+
+    system.spawn(0, a)
+    system.spawn(1, b)
+    system.run()
+    assert objs["a"].messages_sent == 5
+    assert objs["b"].messages_received == 5
+
+
+def test_unknown_object_id_dropped_quietly():
+    system = VorxSystem(n_nodes=2)
+
+    def a(env):
+        obj = yield from env.create_object()
+        yield from env.obj_send(obj, 8, dst=system.node(1).address,
+                                dst_oid=777)
+        return "ok"
+
+    sa = system.spawn(0, a)
+    system.run(until=1_000_000.0)
+    assert sa.result == "ok"

@@ -1,0 +1,162 @@
+"""Tests for host stubs, syscall forwarding, and the Section 3.3 pathologies."""
+
+import pytest
+
+from repro import VorxSystem
+from repro.vorx import SyscallError
+from repro.vorx.stub import attach_stubs
+
+
+def make_system(n_nodes=2):
+    return VorxSystem(n_nodes=n_nodes, n_workstations=1)
+
+
+def test_forwarded_write_and_read_roundtrip():
+    system = make_system()
+    attach_stubs(system, 0, [0])
+
+    def program(env):
+        fd = yield from env.syscall("open", "/tmp/out", "w")
+        n = yield from env.syscall("write", fd, b"hello world")
+        yield from env.syscall("close", fd)
+        fd = yield from env.syscall("open", "/tmp/out", "r")
+        data = yield from env.syscall("read", fd, 100)
+        yield from env.syscall("close", fd)
+        return n, data
+
+    sp = system.spawn(0, program)
+    system.run_until_complete([sp])
+    assert sp.result == (11, b"hello world")
+
+
+def test_syscall_without_stub_raises():
+    system = make_system()
+
+    def program(env):
+        with pytest.raises(SyscallError, match="no stub attached"):
+            yield from env.syscall("getpid")
+        return "ok"
+
+    sp = system.spawn(0, program)
+    system.run_until_complete([sp])
+    assert sp.result == "ok"
+
+
+def test_missing_file_error_propagates():
+    system = make_system()
+    attach_stubs(system, 0, [0])
+
+    def program(env):
+        try:
+            yield from env.syscall("open", "/no/such/file", "r")
+        except SyscallError as exc:
+            return str(exc)
+        return "no error?"
+
+    sp = system.spawn(0, program)
+    system.run_until_complete([sp])
+    assert "ENOENT" in sp.result
+
+
+def test_per_process_stubs_isolate_blocking_calls():
+    """With one stub per process, a blocked process does not stall others."""
+    system = make_system(n_nodes=2)
+    attach_stubs(system, 0, [0, 1], shared=False)
+    times = {}
+
+    def blocker(env):
+        yield from env.syscall("stdin_read", 500_000.0)  # waits 0.5 s
+        times["blocker"] = env.now
+
+    def worker(env):
+        yield from env.syscall("getpid")
+        times["worker"] = env.now
+
+    b = system.spawn(0, blocker)
+    w = system.spawn(1, worker)
+    system.run_until_complete([b, w])
+    assert times["worker"] < 100_000.0  # finished long before the blocker
+    assert times["blocker"] >= 500_000.0
+
+
+def test_shared_stub_serializes_behind_blocking_call():
+    """Section 3.3: with a shared stub, one blocking call stalls everyone."""
+    system = make_system(n_nodes=2)
+    attach_stubs(system, 0, [0, 1], shared=True)
+    times = {}
+
+    def blocker(env):
+        yield from env.syscall("stdin_read", 500_000.0)
+        times["blocker"] = env.now
+
+    def worker(env):
+        yield from env.sleep(10_000.0)  # ensure the blocker gets in first
+        yield from env.syscall("getpid")
+        times["worker"] = env.now
+
+    b = system.spawn(0, blocker)
+    w = system.spawn(1, worker)
+    system.run_until_complete([b, w])
+    assert times["worker"] >= 500_000.0  # stuck behind the blocked stub
+
+
+def test_shared_stub_fd_limit_is_shared():
+    """32 descriptors for the whole application when the stub is shared."""
+    system = make_system(n_nodes=2)
+    attach_stubs(system, 0, [0, 1], shared=True)
+    counts = {}
+
+    def opener(env, who):
+        opened = 0
+        try:
+            for i in range(40):
+                yield from env.syscall("open", f"/data/{who}-{i}", "w")
+                opened += 1
+        except SyscallError as exc:
+            assert "EMFILE" in str(exc)
+        counts[who] = opened
+
+    a = system.spawn(0, lambda env: opener(env, "a"))
+    b = system.spawn(1, lambda env: opener(env, "b"))
+    system.run_until_complete([a, b])
+    # Combined limit: 32 - 3 stdio = 29 fds across both processes.
+    assert counts["a"] + counts["b"] == 29
+
+
+def test_per_process_stub_fd_limit_is_per_process():
+    system = make_system(n_nodes=2)
+    attach_stubs(system, 0, [0, 1], shared=False)
+    counts = {}
+
+    def opener(env, who):
+        opened = 0
+        try:
+            for i in range(40):
+                yield from env.syscall("open", f"/data/{who}-{i}", "w")
+                opened += 1
+        except SyscallError:
+            pass
+        counts[who] = opened
+
+    a = system.spawn(0, lambda env: opener(env, "a"))
+    b = system.spawn(1, lambda env: opener(env, "b"))
+    system.run_until_complete([a, b])
+    assert counts["a"] == 29
+    assert counts["b"] == 29
+
+
+def test_stub_serves_calls_in_arrival_order():
+    system = make_system(n_nodes=2)
+    (stub,) = attach_stubs(system, 0, [0, 1], shared=True)
+
+    def program(env, who):
+        for i in range(3):
+            yield from env.syscall("write",
+                                   (yield from env.syscall("open", f"/log", "a")),
+                                   f"{who}{i};".encode())
+        return who
+
+    a = system.spawn(0, lambda env: program(env, "a"))
+    b = system.spawn(1, lambda env: program(env, "b"))
+    system.run_until_complete([a, b])
+    assert stub.calls_served == 12

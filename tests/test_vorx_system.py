@@ -1,0 +1,139 @@
+"""Unit tests for the VorxSystem builder and runtime helpers."""
+
+import pytest
+
+from repro import VorxSystem
+
+
+def test_small_system_uses_single_cluster():
+    system = VorxSystem(n_nodes=4, n_workstations=2)
+    assert system.fabric.stats()["clusters"] == 1
+    assert len(system.nodes) == 4
+    assert len(system.workstations) == 2
+    assert all(ws.is_host for ws in system.workstations)
+    assert not any(node.is_host for node in system.nodes)
+
+
+def test_large_system_uses_hypercube():
+    system = VorxSystem(n_nodes=20)
+    assert system.fabric.stats()["clusters"] > 1
+
+
+def test_single_node_system():
+    system = VorxSystem(n_nodes=1)
+
+    def lonely(env):
+        yield from env.compute(10.0)
+        return "done"
+
+    sp = system.spawn(0, lonely)
+    system.run()
+    assert sp.result == "done"
+
+
+def test_invalid_configurations():
+    with pytest.raises(ValueError):
+        VorxSystem(n_nodes=0)
+    with pytest.raises(ValueError):
+        VorxSystem(n_nodes=2, manager="quantum")
+
+
+def test_kernel_at_lookup():
+    system = VorxSystem(n_nodes=2, n_workstations=1)
+    kernel = system.kernel_at(system.workstations[0].address)
+    assert kernel.is_host
+    with pytest.raises(KeyError):
+        system.kernel_at(999)
+
+
+def test_manager_organisation_distributed_spreads_names():
+    system = VorxSystem(n_nodes=4, manager="distributed")
+    managers = {
+        system.node(0).manager.node_for(f"name-{i}") for i in range(40)
+    }
+    assert len(managers) > 1  # names hash to multiple managers
+
+
+def test_manager_organisation_centralized_uses_one_node():
+    system = VorxSystem(n_nodes=4, manager="centralized")
+    managers = {
+        system.node(0).manager.node_for(f"name-{i}") for i in range(40)
+    }
+    assert len(managers) == 1
+
+
+def test_run_until_complete_detects_deadlock():
+    system = VorxSystem(n_nodes=2)
+
+    def stuck(env):
+        ch = yield from env.open("never-paired")
+
+    sp = system.spawn(0, stuck)
+    with pytest.raises(RuntimeError, match="deadlock"):
+        system.run_until_complete([sp])
+
+
+def test_run_until_complete_timeout():
+    system = VorxSystem(n_nodes=1)
+
+    def slow(env):
+        yield from env.sleep(10_000_000.0)
+
+    sp = system.spawn(0, slow)
+    with pytest.raises(TimeoutError):
+        system.run_until_complete([sp], timeout=1_000.0)
+
+
+def test_run_until_complete_unstarted_subprocess():
+    system = VorxSystem(n_nodes=1)
+    from repro.vorx.subprocesses import Subprocess
+
+    ghost = Subprocess(system.node(0), "ghost")
+    with pytest.raises(ValueError):
+        system.run_until_complete([ghost])
+
+
+def test_stats_shape():
+    system = VorxSystem(n_nodes=2, n_workstations=1)
+
+    def app(env):
+        ch = yield from env.open("s")
+        yield from env.write(ch, 100)
+
+    def app2(env):
+        ch = yield from env.open("s")
+        yield from env.read(ch)
+
+    system.spawn(0, app)
+    system.spawn(1, app2)
+    system.run()
+    stats = system.stats()
+    assert stats["fabric"]["endpoints"] == 3
+    assert sum(stats["packets_posted"].values()) > 0
+    assert sum(stats["manager_opens"].values()) == 2
+    assert sum(stats["context_switches"].values()) > 0
+
+
+def test_subprocess_priorities_preempt():
+    """A higher-priority subprocess preempts a lower one mid-compute."""
+    system = VorxSystem(n_nodes=1)
+    finish = {}
+
+    def low(env):
+        yield from env.compute(10_000.0)
+        finish["low"] = env.now
+
+    def spawn_high(env):
+        yield from env.sleep(1_000.0)
+
+        def high(env2):
+            yield from env2.compute(2_000.0)
+            finish["high"] = env2.now
+
+        env.spawn(high, name="high", priority=0)
+
+    kernel = system.node(0)
+    kernel.spawn(low, name="low", priority=5)
+    kernel.spawn(spawn_high, name="spawner", priority=0)
+    system.run()
+    assert finish["high"] < finish["low"]
