@@ -8,6 +8,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro import VorxSystem
+from repro.metrics.report import summarize
 from repro.tools import Prof, SoftwareOscilloscope
 
 
@@ -47,6 +48,9 @@ def main() -> None:
 
     print("\n--- prof (Section 6.2) ---")
     print(Prof(system.nodes).format())
+
+    print("\n--- vstat metrics ---")
+    print(summarize(system))
 
 
 if __name__ == "__main__":

@@ -29,6 +29,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured results of every table and figure.
 """
 
+from repro.metrics import MetricsRegistry, Vstat
 from repro.model import DEFAULT_COSTS, CostModel
 from repro.sim import Simulator
 from repro.vorx import Env, NodeKernel, VorxSystem
@@ -42,5 +43,7 @@ __all__ = [
     "Simulator",
     "CostModel",
     "DEFAULT_COSTS",
+    "MetricsRegistry",
+    "Vstat",
     "__version__",
 ]

@@ -145,11 +145,9 @@ def run_rapport(
         in_name = f"video-{(me - 1) % n_conferees}-to-{me}"
         if me % 2 == 0:
             video_out = yield from env.create_object(out_name)
-            video_in = yield from env.create_object(in_name,
-                                                    handler=video_handler)
+            yield from env.create_object(in_name, handler=video_handler)
         else:
-            video_in = yield from env.create_object(in_name,
-                                                    handler=video_handler)
+            yield from env.create_object(in_name, handler=video_handler)
             video_out = yield from env.create_object(out_name)
         chunk = costs.hpc_max_message
         next_video = VIDEO_PERIOD_US

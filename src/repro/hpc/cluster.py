@@ -18,7 +18,6 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
     from repro.model.costs import CostModel
     from repro.hpc.link import Link
-    from repro.hpc.message import Packet
 
 #: Ports per cluster (paper Section 1).
 PORTS_PER_CLUSTER = 12

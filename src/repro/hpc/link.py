@@ -42,13 +42,29 @@ class Link:
         self.downstream = downstream
         self.name = name
         self._requests: Store = Store(sim)
-        #: Total messages carried (for fabric statistics).
-        self.messages_carried = 0
-        #: Total payload bytes carried.
-        self.bytes_carried = 0
-        #: Cumulative time spent actually serializing (for utilisation).
-        self.busy_time = 0.0
+        #: vstat registry for fabric statistics (one per link name).
+        self.metrics = sim.vstat.registry(name)
+        self._m_messages = self.metrics.counter("link.messages_carried")
+        self._m_bytes = self.metrics.counter("link.bytes_carried")
+        self._m_busy = self.metrics.counter("link.busy_us")
+        self._m_queue = self.metrics.gauge("link.queue_depth")
         sim.process(self._pump())
+
+    # -- counter-backed statistics ------------------------------------------
+    @property
+    def messages_carried(self) -> int:
+        """Total messages carried (for fabric statistics)."""
+        return int(self._m_messages.value)
+
+    @property
+    def bytes_carried(self) -> int:
+        """Total payload bytes carried."""
+        return int(self._m_bytes.value)
+
+    @property
+    def busy_time(self) -> float:
+        """Cumulative time spent actually serializing (for utilisation)."""
+        return self._m_busy.value
 
     def send(self, packet: "Packet") -> Event:
         """Queue ``packet``; the event fires when it is in the downstream buffer."""
@@ -64,14 +80,20 @@ class Link:
     def _pump(self):
         while True:
             packet, done = yield self._requests.get()
+            self._m_queue.set(len(self._requests))
             # Hardware flow control: wait for a whole-message buffer
             # downstream before occupying the wire.
+            stall_from = self.sim.now
             yield self.downstream.reserve()
+            stalled = self.sim.now - stall_from
+            if stalled > 0:
+                self.metrics.counter("link.reserve_stalls").inc()
+                self.metrics.counter("link.reserve_stall_us").inc(stalled)
             wire = self.costs.hpc_wire_time(packet.size) + self.costs.hpc_hop_latency
             yield self.sim.timeout(wire)
-            self.busy_time += wire
-            self.messages_carried += 1
-            self.bytes_carried += packet.size
+            self._m_busy.inc(wire)
+            self._m_messages.inc()
+            self._m_bytes.inc(packet.size)
             packet.hops += 1
             self.downstream.deliver(packet)
             done.succeed()

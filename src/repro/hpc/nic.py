@@ -47,8 +47,35 @@ class HPCInterface:
         self.link: Optional["Link"] = None
         self._rx_interrupt: Optional[Callable[[], None]] = None
         self.interrupts_enabled = True
-        self.packets_sent = 0
-        self.packets_received = 0
+        #: vstat registry for this interface's packet/byte counters.
+        self.metrics = sim.vstat.registry(self.name)
+        self._m_sent = self.metrics.counter("nic.packets_sent")
+        self._m_received = self.metrics.counter("nic.packets_received")
+        self._m_bytes_sent = self.metrics.counter("nic.bytes_sent")
+        self._m_bytes_received = self.metrics.counter("nic.bytes_received")
+        self._m_rx_depth = self.metrics.gauge("nic.rx_pending")
+
+    def rename(self, name: str) -> None:
+        """Rename the interface and re-key its vstat registry."""
+        self.sim.vstat.rename(self.name, name)
+        self.name = name
+
+    # -- counter-backed statistics (writable for device-DMA models) ---------
+    @property
+    def packets_sent(self) -> int:
+        return int(self._m_sent.value)
+
+    @packets_sent.setter
+    def packets_sent(self, value: int) -> None:
+        self._m_sent.value = float(value)
+
+    @property
+    def packets_received(self) -> int:
+        return int(self._m_received.value)
+
+    @packets_received.setter
+    def packets_received(self, value: int) -> None:
+        self._m_received.value = float(value)
 
     # -- transmit --------------------------------------------------------------
     def send(self, packet: "Packet") -> Event:
@@ -70,7 +97,8 @@ class HPCInterface:
                 f"{self.address}"
             )
         packet.sent_at = self.sim.now
-        self.packets_sent += 1
+        self._m_sent.inc()
+        self._m_bytes_sent.inc(packet.size)
         return self.link.send(packet)
 
     @property
@@ -84,7 +112,9 @@ class HPCInterface:
         self._rx_interrupt = handler
 
     def _rx_delivered(self, packet: "Packet") -> None:
-        self.packets_received += 1
+        self._m_received.inc()
+        self._m_bytes_received.inc(packet.size)
+        self._m_rx_depth.set(self.rx.pending)
         if self.interrupts_enabled and self._rx_interrupt is not None:
             # Interrupt assertion is asynchronous w.r.t. the delivery.
             self.sim.call_later(0.0, self._rx_interrupt)
@@ -104,12 +134,14 @@ class HPCInterface:
         if not ok:
             return None
         self.rx.free()
+        self._m_rx_depth.set(self.rx.pending)
         return packet
 
     def recv(self):
         """Generator: wait for the next message, freeing its buffer."""
         packet = yield self.rx.get()
         self.rx.free()
+        self._m_rx_depth.set(self.rx.pending)
         return packet
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

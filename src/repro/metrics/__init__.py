@@ -1,0 +1,29 @@
+"""vstat: the unified metrics and structured-trace layer.
+
+One instrumentation backbone for the whole reproduction (the layer the
+paper's Section 6 tools -- cdb, prof, the software oscilloscope -- read
+from): per-component :class:`MetricsRegistry` objects holding counters,
+gauges and fixed-bucket latency histograms, plus a system-wide
+:class:`TraceStream` of typed events, all reachable through the
+:class:`Vstat` hub hanging off the simulator (``sim.vstat``).
+"""
+
+from repro.metrics.events import TraceEvent, TraceStream, Vstat
+from repro.metrics.registry import (
+    DEFAULT_LATENCY_BUCKETS_US,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_US",
+    "TraceEvent",
+    "TraceStream",
+    "Vstat",
+]

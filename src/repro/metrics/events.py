@@ -1,0 +1,165 @@
+"""Structured event tracing and the per-simulation vstat hub.
+
+Every interesting occurrence in the simulated system -- a channel open,
+a dropped packet, a fifo overflow, a retransmission -- is emitted as a
+typed :class:`TraceEvent` (timestamp, node, subsystem, name, key/value
+fields) into one system-wide :class:`TraceStream`.  This replaces the
+old string-tag ``TraceLog.log`` call sites: the records are queryable by
+name/node/subsystem and export losslessly to JSONL.
+
+:class:`Vstat` bundles the stream with the index of every
+:class:`~repro.metrics.registry.MetricsRegistry` in the simulation; the
+:class:`~repro.sim.engine.Simulator` owns one instance, so anything that
+can see the simulator can instrument itself and anything holding the
+simulator can export everything.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as TallyCounter
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from repro.metrics.registry import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record."""
+
+    time: float
+    node: str
+    subsystem: str
+    name: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        """A JSON-serializable rendering (field values fall back to repr)."""
+        return {
+            "t": self.time,
+            "node": self.node,
+            "subsystem": self.subsystem,
+            "event": self.name,
+            "fields": self.fields,
+        }
+
+
+class TraceStream:
+    """An append-only stream of :class:`TraceEvent` records."""
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+        self._tallies: TallyCounter[str] = TallyCounter()
+
+    # -- recording ---------------------------------------------------------
+    def emit(
+        self,
+        time: float,
+        node: str = "",
+        subsystem: str = "",
+        name: str = "",
+        **fields: Any,
+    ) -> TraceEvent:
+        event = TraceEvent(time, node, subsystem, name, fields)
+        self._events.append(event)
+        self._tallies[name] += 1
+        return event
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def count(self, name: str) -> int:
+        """Occurrences of ``name`` across every node."""
+        return self._tallies[name]
+
+    def names(self) -> list[str]:
+        return list(self._tallies.keys())
+
+    def select(
+        self,
+        name: Optional[str] = None,
+        node: Optional[str] = None,
+        subsystem: Optional[str] = None,
+    ) -> list[TraceEvent]:
+        """Events matching every given filter (None matches anything)."""
+        return [
+            event for event in self._events
+            if (name is None or event.name == name)
+            and (node is None or event.node == node)
+            and (subsystem is None or event.subsystem == subsystem)
+        ]
+
+    # -- export ------------------------------------------------------------
+    def to_jsonl(self) -> Iterator[str]:
+        """One JSON document per event (non-serializable values -> repr)."""
+        for event in self._events:
+            yield json.dumps(event.to_json(), default=repr)
+
+
+class Vstat:
+    """The per-simulation instrumentation hub: trace stream + registries."""
+
+    def __init__(self) -> None:
+        self.events = TraceStream()
+        self._registries: dict[str, MetricsRegistry] = {}
+
+    # -- registries --------------------------------------------------------
+    def registry(self, node: str) -> MetricsRegistry:
+        """Get or create the registry for ``node`` (component name)."""
+        registry = self._registries.get(node)
+        if registry is None:
+            registry = MetricsRegistry(node)
+            self._registries[node] = registry
+        return registry
+
+    def rename(self, old: str, new: str) -> None:
+        """Re-key a registry (e.g. when an interface is renamed)."""
+        if old == new or old not in self._registries:
+            return
+        registry = self._registries.pop(old)
+        registry.node = new
+        existing = self._registries.get(new)
+        if existing is not None:
+            # Merge: keep the existing registry's metrics dominant.
+            for metric in registry:
+                key = (metric.name, metric.labels)  # type: ignore[attr-defined]
+                existing._metrics.setdefault(key, metric)
+        else:
+            self._registries[new] = registry
+
+    @property
+    def registries(self) -> dict[str, MetricsRegistry]:
+        return dict(self._registries)
+
+    # -- convenience -------------------------------------------------------
+    def emit(
+        self,
+        time: float,
+        node: str = "",
+        subsystem: str = "",
+        name: str = "",
+        **fields: Any,
+    ) -> TraceEvent:
+        return self.events.emit(time, node, subsystem, name, **fields)
+
+    # -- export ------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Every registry's snapshot, keyed by component name."""
+        return {
+            name: registry.snapshot()
+            for name, registry in sorted(self._registries.items())
+        }
+
+    def to_jsonl(self) -> Iterator[str]:
+        """The full export: every event, then one snapshot per registry."""
+        yield from self.events.to_jsonl()
+        for name, registry in sorted(self._registries.items()):
+            yield json.dumps(
+                {"snapshot": name, **registry.snapshot()}, default=repr
+            )

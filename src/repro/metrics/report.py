@@ -1,0 +1,134 @@
+"""Rendering helpers for vstat exports: JSONL dumps and summary tables.
+
+The thin CLI in ``scripts/report.py`` drives these; tests and notebooks
+can call them directly.  Everything operates on duck-typed objects (a
+``VorxSystem``-like object exposing ``all_kernels`` and ``sim.vstat``)
+to keep :mod:`repro.metrics` free of upward imports.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.metrics.registry import Histogram
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics.events import Vstat
+
+
+def write_jsonl(vstat: "Vstat", path: str) -> int:
+    """Write the full trace + snapshot export; returns the line count."""
+    lines = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in vstat.to_jsonl():
+            handle.write(line + "\n")
+            lines += 1
+    return lines
+
+
+def render_histogram(histogram: Histogram, width: int = 40) -> str:
+    """ASCII bucket bars plus the count/mean/percentile summary line."""
+    if histogram.count == 0:
+        return f"{histogram.name}: (no observations)"
+    lines = [
+        f"{histogram.name}: n={histogram.count} mean={histogram.mean:.1f}us "
+        f"p50={histogram.percentile(50):.1f}us "
+        f"p90={histogram.percentile(90):.1f}us "
+        f"min={histogram.min:.1f}us max={histogram.max:.1f}us"
+    ]
+    peak = max(histogram.counts)
+    lo = 0.0
+    for edge, count in zip(histogram.buckets, histogram.counts):
+        if count:
+            bar = "#" * max(1, round(width * count / peak))
+            lines.append(f"  [{lo:>9.0f} .. {edge:>9.0f}) {count:>6} |{bar}")
+        lo = edge
+    if histogram.counts[-1]:
+        count = histogram.counts[-1]
+        bar = "#" * max(1, round(width * count / peak))
+        lines.append(f"  [{lo:>9.0f} ..      +inf) {count:>6} |{bar}")
+    return "\n".join(lines)
+
+
+def node_summary_rows(system) -> list[dict]:
+    """Per-node key counters: packets, context switches, syscalls, channel
+    traffic.  ``system`` is any object with ``all_kernels``."""
+    rows = []
+    for kernel in system.all_kernels:
+        metrics = kernel.metrics
+        rows.append(
+            {
+                "node": kernel.name,
+                "packets_sent": kernel.iface.packets_sent,
+                "packets_received": kernel.iface.packets_received,
+                "context_switches": kernel.context_switches,
+                "syscalls": int(metrics.value("kernel.syscalls")),
+                "chan_frags_sent": int(metrics.value("chan.fragments_sent")),
+                "chan_frags_received": int(
+                    metrics.value("chan.fragments_received")
+                ),
+            }
+        )
+    return rows
+
+
+def format_node_summary(rows: list[dict]) -> str:
+    header = (
+        f"{'NODE':<10} {'PKT-TX':>7} {'PKT-RX':>7} {'CTXSW':>6} "
+        f"{'SYSCALL':>8} {'CH-TX':>6} {'CH-RX':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['node']:<10} {row['packets_sent']:>7} "
+            f"{row['packets_received']:>7} {row['context_switches']:>6} "
+            f"{row['syscalls']:>8} {row['chan_frags_sent']:>6} "
+            f"{row['chan_frags_received']:>6}"
+        )
+    return "\n".join(lines)
+
+
+def channel_rtt_histogram(system) -> Optional[Histogram]:
+    """The merged channel write round-trip histogram across all nodes."""
+    merged: Optional[Histogram] = None
+    for kernel in system.all_kernels:
+        histogram = kernel.metrics.get("chan.write_rtt_us")
+        if histogram is None or histogram.count == 0:
+            continue
+        if merged is None:
+            merged = Histogram("chan.write_rtt_us",
+                               buckets=histogram.buckets)
+        if merged.buckets != histogram.buckets:  # pragma: no cover
+            continue
+        for index, count in enumerate(histogram.counts):
+            merged.counts[index] += count
+        merged.count += histogram.count
+        merged.sum += histogram.sum
+        merged.min = min(merged.min, histogram.min)
+        merged.max = max(merged.max, histogram.max)
+    return merged
+
+
+def summarize(system, jsonl_path: Optional[str] = None) -> str:
+    """The full report: optional JSONL dump plus the summary tables."""
+    lines = []
+    if jsonl_path is not None:
+        count = write_jsonl(system.sim.vstat, jsonl_path)
+        lines.append(f"wrote {count} JSONL records to {jsonl_path}")
+        lines.append("")
+    lines.append("--- per-node counters (vstat) ---")
+    lines.append(format_node_summary(node_summary_rows(system)))
+    rtt = channel_rtt_histogram(system)
+    if rtt is not None:
+        lines.append("")
+        lines.append("--- channel stop-and-wait round-trip latency ---")
+        lines.append(render_histogram(rtt))
+    events = system.sim.vstat.events
+    if len(events):
+        lines.append("")
+        tallies = ", ".join(
+            f"{name}={events.count(name)}" for name in sorted(events.names())
+        )
+        lines.append(f"--- trace events ({len(events)} total) ---")
+        lines.append(tallies)
+    return "\n".join(lines)

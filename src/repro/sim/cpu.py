@@ -115,8 +115,15 @@ class CPU:
         self._end_handle: Optional["Handle"] = None
         self._last_owner: Optional[str] = None
         self._seq = 0
-        #: Count of context switches charged (paper: 80 us each).
-        self.context_switches = 0
+        #: Count of context switches charged (paper: 80 us each), backed
+        #: by this node's vstat registry.
+        self._m_switches = sim.vstat.registry(name).counter(
+            "cpu.context_switches"
+        )
+
+    @property
+    def context_switches(self) -> int:
+        return int(self._m_switches.value)
 
     # -- public API --------------------------------------------------------
     def execute(
@@ -216,7 +223,7 @@ class CPU:
                     job.seq,  # same seq: runs immediately before the job
                     internal=True,
                 )
-                self.context_switches += 1
+                self._m_switches.inc()
                 self._start(switch)
                 return
         self._start(job)

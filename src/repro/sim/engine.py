@@ -11,6 +11,7 @@ from __future__ import annotations
 from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Optional
 
+from repro.metrics.events import Vstat
 from repro.sim.events import Event, Timeout, NORMAL
 
 
@@ -49,6 +50,9 @@ class Simulator:
         self._seq: int = 0
         #: heap of (time, priority, seq, item); item is Event or Handle
         self._queue: list[tuple[float, int, int, Any]] = []
+        #: Unified instrumentation hub: every component sharing this
+        #: simulator registers its metrics and trace events here.
+        self.vstat = Vstat()
 
     # -- clock -------------------------------------------------------------
     @property

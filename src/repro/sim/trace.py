@@ -5,16 +5,20 @@ processor's time into *user*, *system* and several flavours of *idle*
 time.  :class:`Timeline` records exactly that raw data while a simulation
 runs; :mod:`repro.tools.oscilloscope` renders it.
 
-:class:`TraceLog` is a generic timestamped event log with counters, used
-by the communications debugger and the benchmarks.
+:class:`TraceLog` is the per-node view over the unified structured trace
+stream (:mod:`repro.metrics.events`): the legacy ``log(time, tag, data)``
+interface is kept for applications, but every record lands in the shared
+:class:`~repro.metrics.events.TraceStream` as a typed event, so cdb, the
+benchmarks and ``scripts/report.py`` all read one stream.
 """
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Iterable, Iterator, Optional
+
+from repro.metrics.events import TraceStream
 
 
 class Category(str, Enum):
@@ -189,22 +193,48 @@ class Timeline:
 
 
 class TraceLog:
-    """A timestamped log of named occurrences plus counters."""
+    """A node's view over the structured trace stream.
 
-    def __init__(self) -> None:
-        self.entries: list[tuple[float, str, Any]] = []
-        self.counters: Counter[str] = Counter()
+    Standalone construction (no arguments) gives a private stream -- the
+    original timestamped-log behaviour.  Kernels pass the simulator's
+    shared stream plus their node name, so application events written
+    through ``env.log`` land in the unified vstat export alongside the
+    kernel's own structured events, while ``count``/``select``/``tags``
+    stay scoped to this node.
+    """
+
+    def __init__(
+        self, stream: Optional[TraceStream] = None, node: str = ""
+    ) -> None:
+        self.stream = stream if stream is not None else TraceStream()
+        self.node = node
 
     def log(self, time: float, tag: str, data: Any = None) -> None:
-        self.entries.append((time, tag, data))
-        self.counters[tag] += 1
+        self.stream.emit(time, node=self.node, subsystem="app", name=tag,
+                         data=data)
+
+    def _mine(self) -> list:
+        if self.node:
+            return self.stream.select(node=self.node)
+        return list(self.stream.events)
+
+    @property
+    def entries(self) -> list[tuple[float, str, Any]]:
+        """Legacy view: (time, tag, data) tuples for this node."""
+        return [(e.time, e.name, e.fields.get("data")) for e in self._mine()]
 
     def count(self, tag: str) -> int:
-        return self.counters[tag]
+        return sum(1 for e in self._mine() if e.name == tag)
 
     def select(self, tag: str) -> list[tuple[float, Any]]:
         """All (time, data) entries with the given tag."""
-        return [(t, d) for t, g, d in self.entries if g == tag]
+        return [
+            (e.time, e.fields.get("data"))
+            for e in self._mine() if e.name == tag
+        ]
 
     def tags(self) -> Iterable[str]:
-        return self.counters.keys()
+        seen: dict[str, None] = {}
+        for event in self._mine():
+            seen.setdefault(event.name, None)
+        return seen.keys()

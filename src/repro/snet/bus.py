@@ -27,9 +27,21 @@ class SNetBus:
         self.costs = costs
         self._arbiter = Semaphore(sim, value=1)
         self._interfaces: Dict[int, "SNetInterface"] = {}
-        #: Total transmissions (including rejected ones) for statistics.
-        self.transmissions = 0
-        self.rejections = 0
+        #: vstat registry for bus statistics.
+        self.metrics = sim.vstat.registry("snet.bus")
+        self._m_transmissions = self.metrics.counter("bus.transmissions")
+        self._m_rejections = self.metrics.counter("bus.rejections")
+        self._m_bytes = self.metrics.counter("bus.bytes_carried")
+
+    # -- counter-backed statistics ------------------------------------------
+    @property
+    def transmissions(self) -> int:
+        """Total transmissions (including rejected ones) for statistics."""
+        return int(self._m_transmissions.value)
+
+    @property
+    def rejections(self) -> int:
+        return int(self._m_rejections.value)
 
     def register(self, iface: "SNetInterface") -> None:
         if iface.address in self._interfaces:
@@ -53,10 +65,15 @@ class SNetBus:
         yield self._arbiter.acquire()
         try:
             yield self.sim.timeout(self.costs.snet_wire_time(packet.size))
-            self.transmissions += 1
+            self._m_transmissions.inc()
+            self._m_bytes.inc(packet.size)
             accepted = dst.fifo.offer(packet)
             if not accepted:
-                self.rejections += 1
+                self._m_rejections.inc()
+                self.sim.vstat.emit(
+                    self.sim.now, node=dst.name, subsystem="snet",
+                    name="fifo-full", src=packet.src, size=packet.size,
+                )
             dst.notify_delivery()
             return accepted
         finally:

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hpc.message import Packet
+    from repro.metrics.registry import MetricsRegistry
 
 
 @dataclass
@@ -43,17 +44,43 @@ class FifoEntry:
 class SNetFifo:
     """A byte-accounted fifo of whole and partial messages."""
 
-    def __init__(self, capacity_bytes: int, header_bytes: int) -> None:
+    def __init__(
+        self,
+        capacity_bytes: int,
+        header_bytes: int,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> None:
         if capacity_bytes < 1:
             raise ValueError(f"fifo capacity must be positive: {capacity_bytes}")
         self.capacity = capacity_bytes
         self.header_bytes = header_bytes
         self._entries: deque[FifoEntry] = deque()
         self._used = 0
-        #: Statistics for the flow-control experiments.
-        self.accepted = 0
-        self.rejected = 0
-        self.partial_bytes_retained = 0
+        #: Statistics for the flow-control experiments.  When an owning
+        #: interface passes its vstat registry, the counters show up in
+        #: metric snapshots too; standalone fifos keep a private registry.
+        if metrics is None:
+            from repro.metrics.registry import MetricsRegistry
+
+            metrics = MetricsRegistry("fifo")
+        self.metrics = metrics
+        self._m_accepted = metrics.counter("fifo.accepted")
+        self._m_rejected = metrics.counter("fifo.rejected")
+        self._m_partial = metrics.counter("fifo.partial_bytes_retained")
+        self._m_used = metrics.gauge("fifo.used_bytes")
+
+    # -- counter-backed statistics ------------------------------------------
+    @property
+    def accepted(self) -> int:
+        return int(self._m_accepted.value)
+
+    @property
+    def rejected(self) -> int:
+        return int(self._m_rejected.value)
+
+    @property
+    def partial_bytes_retained(self) -> int:
+        return int(self._m_partial.value)
 
     # -- hardware (bus) side ---------------------------------------------------
     def offer(self, packet: "Packet") -> bool:
@@ -68,13 +95,15 @@ class SNetFifo:
         if free >= wire_bytes:
             self._entries.append(FifoEntry(packet, wire_bytes, partial=False))
             self._used += wire_bytes
-            self.accepted += 1
+            self._m_accepted.inc()
+            self._m_used.set(self._used)
             return True
-        self.rejected += 1
+        self._m_rejected.inc()
         if free > 0:
             self._entries.append(FifoEntry(packet, free, partial=True))
             self._used = self.capacity
-            self.partial_bytes_retained += free
+            self._m_partial.inc(free)
+        self._m_used.set(self._used)
         return False
 
     # -- software (kernel) side ----------------------------------------------
@@ -91,6 +120,7 @@ class SNetFifo:
         entry = self._entries.popleft()
         self._used -= entry.remaining
         entry.remaining = 0
+        self._m_used.set(self._used)
         return entry
 
     def peek(self) -> Optional[FifoEntry]:
@@ -113,6 +143,7 @@ class SNetFifo:
         taken = min(nbytes, entry.remaining)
         entry.remaining -= taken
         self._used -= taken
+        self._m_used.set(self._used)
         if entry.remaining == 0:
             self._entries.popleft()
             return entry

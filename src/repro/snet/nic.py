@@ -36,11 +36,24 @@ class SNetInterface:
         self.bus = bus
         self.address = address
         self.name = name or f"snet{address}"
-        self.fifo = SNetFifo(costs.snet_fifo_bytes, costs.snet_header_bytes)
+        #: vstat registry for this interface (shared with its fifo).
+        self.metrics = sim.vstat.registry(self.name)
+        self.fifo = SNetFifo(
+            costs.snet_fifo_bytes, costs.snet_header_bytes, metrics=self.metrics
+        )
         self._rx_interrupt: Optional[Callable[[], None]] = None
         self.interrupts_enabled = True
-        self.packets_sent = 0
-        self.sends_rejected = 0
+        self._m_sent = self.metrics.counter("nic.packets_sent")
+        self._m_rejected = self.metrics.counter("nic.sends_rejected")
+
+    # -- counter-backed statistics ------------------------------------------
+    @property
+    def packets_sent(self) -> int:
+        return int(self._m_sent.value)
+
+    @property
+    def sends_rejected(self) -> int:
+        return int(self._m_rejected.value)
 
     # -- transmit ---------------------------------------------------------
     def send(self, packet: "Packet"):
@@ -50,9 +63,9 @@ class SNetInterface:
                 f"{self.name}: packet src {packet.src} != address {self.address}"
             )
         accepted = yield from self.bus.transmit(packet)
-        self.packets_sent += 1
+        self._m_sent.inc()
         if not accepted:
-            self.sends_rejected += 1
+            self._m_rejected.inc()
         return accepted
 
     # -- receive ------------------------------------------------------------

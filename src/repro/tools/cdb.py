@@ -35,6 +35,8 @@ class ChannelRow:
     peer_eid: Optional[int]
     sent: int
     received: int
+    bytes_sent: int
+    bytes_received: int
     reader_blocked: bool
     writer_blocked: bool
     buffered: int
@@ -87,6 +89,8 @@ class Cdb:
                     peer_eid=snap["peer_eid"],
                     sent=snap["sent"],
                     received=snap["received"],
+                    bytes_sent=snap.get("bytes_sent", 0),
+                    bytes_received=snap.get("bytes_received", 0),
                     reader_blocked=snap["reader_blocked"],
                     writer_blocked=snap["writer_blocked"],
                     buffered=snap["buffered"],
@@ -105,17 +109,56 @@ class Cdb:
         return rows
 
     def format(self, rows: Iterable[ChannelRow]) -> str:
-        """Render rows as the classic cdb table."""
+        """Render rows as the classic cdb table (now with live byte counters)."""
         header = (
             f"{'CHANNEL':<16} {'NODE':>4} {'SUBPROCESS':<24} "
-            f"{'SENT':>5} {'RCVD':>5} {'BUF':>3} {'STATE':<16}"
+            f"{'SENT':>5} {'RCVD':>5} {'B-TX':>8} {'B-RX':>8} "
+            f"{'BUF':>3} {'STATE':<16}"
         )
         lines = [header, "-" * len(header)]
         for row in rows:
             lines.append(
                 f"{row.name:<16} {row.node:>4} {row.subprocess:<24} "
-                f"{row.sent:>5} {row.received:>5} {row.buffered:>3} "
-                f"{row.state:<16}"
+                f"{row.sent:>5} {row.received:>5} "
+                f"{row.bytes_sent:>8} {row.bytes_received:>8} "
+                f"{row.buffered:>3} {row.state:<16}"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # live per-node counters (from the vstat registries)
+    # ------------------------------------------------------------------
+    def node_counters(self) -> list[dict]:
+        """Per-kernel live counters, straight from each vstat registry."""
+        rows = []
+        for kernel in self.system.all_kernels:
+            metrics = kernel.metrics
+            rows.append(
+                {
+                    "node": kernel.name,
+                    "syscalls": int(metrics.value("kernel.syscalls")),
+                    "context_switches": kernel.context_switches,
+                    "packets_posted": kernel.packets_posted,
+                    "interrupts": int(metrics.value("kernel.interrupts")),
+                    "retransmits": int(metrics.value("chan.retransmits")),
+                    "naks": int(metrics.value("chan.naks")),
+                }
+            )
+        return rows
+
+    def format_node_counters(self) -> str:
+        """Render :meth:`node_counters` as a table."""
+        header = (
+            f"{'NODE':<10} {'SYSCALL':>8} {'CTXSW':>7} {'POSTED':>7} "
+            f"{'INTR':>6} {'NAK':>5} {'RETX':>5}"
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.node_counters():
+            lines.append(
+                f"{row['node']:<10} {row['syscalls']:>8} "
+                f"{row['context_switches']:>7} {row['packets_posted']:>7} "
+                f"{row['interrupts']:>6} {row['naks']:>5} "
+                f"{row['retransmits']:>5}"
             )
         return "\n".join(lines)
 

@@ -238,6 +238,35 @@ class SoftwareOscilloscope:
         )
         return "\n".join(lines)
 
+    def metrics_overlay(self) -> str:
+        """Per-processor live-counter strip from the vstat registries.
+
+        Pairs with :meth:`render`: the strip chart shows *where* the time
+        went; this overlay shows *what* each processor was doing to the
+        network while it went (messages posted, interrupts taken, context
+        switches charged, channel retransmissions).
+        """
+        header = (
+            f"{'PROCESSOR':>10} {'POSTED':>7} {'INTR':>6} {'CTXSW':>6} "
+            f"{'SYSCALL':>8} {'NAK':>5} {'RETX':>5}"
+        )
+        lines = [header]
+        for kernel in self.kernels:
+            metrics = getattr(kernel, "metrics", None)
+            if metrics is None:  # e.g. Meglos kernels predate vstat
+                lines.append(f"{kernel.name:>10} {'-':>7} {'-':>6} {'-':>6} "
+                             f"{'-':>8} {'-':>5} {'-':>5}")
+                continue
+            lines.append(
+                f"{kernel.name:>10} {kernel.packets_posted:>7} "
+                f"{int(metrics.value('kernel.interrupts')):>6} "
+                f"{kernel.context_switches:>6} "
+                f"{int(metrics.value('kernel.syscalls')):>8} "
+                f"{int(metrics.value('chan.naks')):>5} "
+                f"{int(metrics.value('chan.retransmits')):>5}"
+            )
+        return "\n".join(lines)
+
     def playback(
         self,
         window_us: float,

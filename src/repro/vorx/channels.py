@@ -59,9 +59,13 @@ class ChannelEndpoint:
         self.unacked: Optional[tuple[int, Any]] = None
         #: True if we dropped a data message and owe the peer a RETRY.
         self.starved_peer = False
-        #: Statistics reported by the communications debugger.
+        #: Statistics reported by the communications debugger.  Both ends
+        #: count *fragments* (the unit actually acknowledged on the wire),
+        #: so the two sides of a fragmented write agree.
         self.messages_sent = 0
         self.messages_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
 
     # -- state summary for cdb --------------------------------------------
     @property
@@ -94,6 +98,16 @@ class ChannelService:
         self.kernel = kernel
         self.endpoints: dict[int, ChannelEndpoint] = {}
         self._next_eid = 1
+        metrics = kernel.metrics
+        self._m_frags_sent = metrics.counter("chan.fragments_sent")
+        self._m_frags_received = metrics.counter("chan.fragments_received")
+        self._m_bytes_sent = metrics.counter("chan.bytes_sent")
+        self._m_bytes_received = metrics.counter("chan.bytes_received")
+        self._m_writes = metrics.counter("chan.writes")
+        self._m_naks = metrics.counter("chan.naks")
+        self._m_retransmits = metrics.counter("chan.retransmits")
+        #: Whole-write round-trip latency (syscall entry to final ack).
+        self._m_write_rtt = metrics.histogram("chan.write_rtt_us")
 
     # ------------------------------------------------------------------
     # open / close (subprocess context)
@@ -101,6 +115,7 @@ class ChannelService:
     def open(self, sp: Subprocess, name: str):
         """Generator: open ``name``; returns the endpoint when paired."""
         kernel = self.kernel
+        kernel.count_syscall("chan_open")
         endpoint = ChannelEndpoint(self._next_eid, name, sp)
         self._next_eid += 1
         self.endpoints[endpoint.eid] = endpoint
@@ -112,15 +127,38 @@ class ChannelService:
         endpoint.peer_addr = peer_addr
         endpoint.peer_eid = peer_eid
         endpoint.open = True
-        kernel.trace.log(kernel.sim.now, "channel-open", name)
+        kernel.metrics.counter("chan.opens").inc()
+        kernel.emit("channel", "channel-open", data=name, eid=endpoint.eid,
+                    peer=peer_addr)
+        if endpoint.closed:
+            # Closed while the rendezvous was still in flight: the peer
+            # could not be notified then, so tell it now.
+            kernel.post(
+                dst=peer_addr,
+                size=kernel.costs.chan_ack_bytes,
+                kind=MessageKind.CHANNEL_CTRL,
+                channel=peer_eid,
+                payload=CTRL_CLOSE,
+            )
         return endpoint
 
     def close(self, sp: Subprocess, endpoint: ChannelEndpoint):
-        """Generator: close our side and notify the peer."""
+        """Generator: close our side and notify the peer.
+
+        Closing is always safe: an endpoint whose open has not completed
+        yet (no peer paired, ``peer_addr`` still None) is simply marked
+        closed -- there is no peer kernel to notify.
+        """
         kernel = self.kernel
-        self._require_open(endpoint)
+        kernel.count_syscall("chan_close")
         yield kernel.k_exec(kernel.costs.syscall_overhead)
+        already_closed = endpoint.closed
         endpoint.closed = True
+        kernel.metrics.counter("chan.closes").inc()
+        kernel.emit("channel", "channel-close", data=endpoint.name,
+                    eid=endpoint.eid, paired=endpoint.peer_addr is not None)
+        if already_closed or endpoint.peer_addr is None:
+            return
         kernel.post(
             dst=endpoint.peer_addr,
             size=kernel.costs.chan_ack_bytes,
@@ -144,12 +182,14 @@ class ChannelService:
         kernel = self.kernel
         costs = kernel.costs
         self._require_open(endpoint)
+        kernel.count_syscall("chan_write")
         if endpoint.writer_event is not None:
             raise ChannelBusyError(
                 f"channel {endpoint.name!r} already has a write outstanding"
             )
         if nbytes < 0:
             raise ValueError(f"negative write length: {nbytes}")
+        started_at = kernel.sim.now
         yield kernel.k_exec(costs.syscall_overhead)
         remaining = nbytes
         first = True
@@ -179,7 +219,16 @@ class ChannelService:
             finally:
                 endpoint.writer_event = None
                 endpoint.unacked = None
-        endpoint.messages_sent += 1
+            # One acknowledged fragment == one message on the wire; both
+            # ends count this same unit (the receiver counts per arriving
+            # fragment), so cdb's two directions agree for fragmented
+            # writes.
+            endpoint.messages_sent += 1
+            endpoint.bytes_sent += fragment
+            self._m_frags_sent.inc()
+            self._m_bytes_sent.inc(fragment)
+        self._m_writes.inc()
+        self._m_write_rtt.observe(kernel.sim.now - started_at)
 
     # ------------------------------------------------------------------
     # read (subprocess context)
@@ -189,6 +238,7 @@ class ChannelService:
         kernel = self.kernel
         costs = kernel.costs
         self._require_open(endpoint)
+        kernel.count_syscall("chan_read")
         if endpoint.reader_event is not None:
             raise ChannelBusyError(
                 f"channel {endpoint.name!r} already has a read outstanding"
@@ -222,6 +272,18 @@ class ChannelService:
         costs = kernel.costs
         if not endpoints:
             raise ValueError("read_any needs at least one channel")
+        seen_eids = set()
+        for endpoint in endpoints:
+            if endpoint.eid in seen_eids:
+                # A duplicate would defeat the busy check below (the
+                # reader event is only attached after the loop) and
+                # corrupt the read-group teardown.
+                raise ValueError(
+                    f"duplicate channel {endpoint.name!r} (eid "
+                    f"{endpoint.eid}) in read_any"
+                )
+            seen_eids.add(endpoint.eid)
+        kernel.count_syscall("chan_read_any")
         yield kernel.k_exec(costs.syscall_overhead)
         # Buffered data on any member wins immediately (FIFO by list order).
         for endpoint in endpoints:
@@ -286,9 +348,14 @@ class ChannelService:
         if not delivered:
             # No buffer space: drop and owe a retransmission request.
             endpoint.starved_peer = True
-            kernel.trace.log(kernel.sim.now, "channel-nak", endpoint.name)
+            self._m_naks.inc()
+            kernel.emit("channel", "channel-nak", data=endpoint.name,
+                        eid=endpoint.eid, size=packet.size)
             return
         endpoint.messages_received += 1
+        endpoint.bytes_received += packet.size
+        self._m_frags_received.inc()
+        self._m_bytes_received.inc(packet.size)
         yield kernel.isr_exec(costs.chan_ack_send)
         # Address the ack with the sender's endpoint id from the data
         # header: our own rendezvous reply may still be in flight, so
@@ -339,6 +406,9 @@ class ChannelService:
             # Receiver freed a side buffer: retransmit the unacked fragment.
             if endpoint.unacked is not None:
                 size, payload = endpoint.unacked
+                self._m_retransmits.inc()
+                kernel.emit("channel", "channel-retransmit",
+                            data=endpoint.name, eid=endpoint.eid, size=size)
                 yield kernel.isr_exec(
                     kernel.costs.chan_send_kernel + kernel.costs.copy_time(size)
                 )
@@ -384,6 +454,8 @@ class ChannelService:
                     "peer_eid": endpoint.peer_eid,
                     "sent": endpoint.messages_sent,
                     "received": endpoint.messages_received,
+                    "bytes_sent": endpoint.bytes_sent,
+                    "bytes_received": endpoint.bytes_received,
                     "reader_blocked": endpoint.reader_blocked,
                     "writer_blocked": endpoint.writer_blocked,
                     "buffered": len(endpoint.side_buffers),

@@ -61,7 +61,16 @@ class NodeKernel:
         #: True for host workstations (they additionally run host services).
         self.is_host = is_host
         self.cpu = CPU(sim, self.name)
-        self.trace = TraceLog()
+        #: This node's vstat metrics registry (shared with its CPU).
+        self.metrics = sim.vstat.registry(self.name)
+        self.trace = TraceLog(stream=sim.vstat.events, node=self.name)
+        self._m_context_switches = self.metrics.counter(
+            "kernel.context_switches"
+        )
+        self._m_packets_posted = self.metrics.counter("kernel.packets_posted")
+        self._m_bytes_posted = self.metrics.counter("kernel.bytes_posted")
+        self._m_syscalls = self.metrics.counter("kernel.syscalls")
+        self._m_interrupts = self.metrics.counter("kernel.interrupts")
         self.channels = ChannelService(self)
         self.objects = UserObjectService(self)
         self.manager = ObjectManagerService(self)
@@ -70,11 +79,40 @@ class NodeKernel:
         #: Extension services: message kind -> generator handler(packet).
         self._kind_handlers: Dict[MessageKind, Callable[[Packet], Generator]] = {}
         self._isr_active = False
-        self.context_switches = 0
-        self.packets_posted = 0
-        #: Per-(process, label) user CPU attribution for the prof tool.
-        self.prof_samples: Dict[tuple[str, str], float] = {}
         iface.set_rx_interrupt(self._rx_interrupt)
+
+    # ------------------------------------------------------------------
+    # vstat instrumentation
+    # ------------------------------------------------------------------
+    @property
+    def context_switches(self) -> int:
+        """Context switches charged so far (backed by the vstat counter)."""
+        return int(self._m_context_switches.value)
+
+    @property
+    def packets_posted(self) -> int:
+        """Messages handed to the interface (backed by the vstat counter)."""
+        return int(self._m_packets_posted.value)
+
+    @property
+    def prof_samples(self) -> Dict[tuple[str, str], float]:
+        """Per-(process, label) user CPU time, read from the registry."""
+        return {
+            labels: counter.value  # type: ignore[attr-defined, misc]
+            for labels, counter in self.metrics.labelled("prof.user_us").items()
+        }
+
+    def emit(self, subsystem: str, name: str, **fields) -> None:
+        """Record a structured trace event for this node, timestamped now."""
+        self.sim.vstat.emit(
+            self.sim.now, node=self.name, subsystem=subsystem, name=name,
+            **fields,
+        )
+
+    def count_syscall(self, op: str) -> None:
+        """Account one supervisor call (channel ops, forwarded UNIX calls)."""
+        self._m_syscalls.inc()
+        self.metrics.counter("kernel.syscalls_by_op", labels=(op,)).inc()
 
     # ------------------------------------------------------------------
     # CPU charge helpers
@@ -117,7 +155,8 @@ class NodeKernel:
             src=self.address, dst=dst, size=size, kind=kind,
             channel=channel, src_channel=src_channel, payload=payload,
         )
-        self.packets_posted += 1
+        self._m_packets_posted.inc()
+        self._m_bytes_posted.inc(size)
         return self.iface.send(packet)
 
     # ------------------------------------------------------------------
@@ -136,6 +175,7 @@ class NodeKernel:
         messages immediately when they arrive") is this loop: buffers are
         freed as fast as the CPU can demultiplex.
         """
+        self._m_interrupts.inc()
         yield self.isr_exec(self.costs.interrupt_overhead)
         while True:
             packet = self.iface.read()
@@ -162,7 +202,9 @@ class NodeKernel:
         else:
             handler = self._kind_handlers.get(kind)
             if handler is None:
-                self.trace.log(self.sim.now, "dropped-packet", packet)
+                self.metrics.counter("kernel.packets_dropped").inc()
+                self.emit("kernel", "dropped-packet", kind=str(kind.value),
+                          src=packet.src, size=packet.size)
                 yield self.isr_exec(self.costs.chan_recv_kernel)
             else:
                 yield from handler(packet)
@@ -206,7 +248,7 @@ class NodeKernel:
                 self.costs.context_switch, sp.cpu_priority, sp.uid,
                 Category.SYSTEM,
             )
-            self.context_switches += 1
+            self._m_context_switches.inc()
             sp.state = SubprocessState.RUNNING
             env = Env(self, sp)
             try:
@@ -235,6 +277,7 @@ class NodeKernel:
         """
         sp.state = SubprocessState.BLOCKED
         sp.blocked_on = reason
+        self.metrics.counter("kernel.blocks", labels=(reason.value,)).inc()
         self._update_idle_reason()
         try:
             value = yield event
@@ -246,7 +289,7 @@ class NodeKernel:
             self.costs.wakeup_overhead + self.costs.context_switch,
             sp.cpu_priority, sp.uid, Category.SYSTEM,
         )
-        self.context_switches += 1
+        self._m_context_switches.inc()
         sp.state = SubprocessState.RUNNING
         return value
 
@@ -274,8 +317,9 @@ class NodeKernel:
     # prof support
     # ------------------------------------------------------------------
     def prof_record(self, sp: Subprocess, label: str, duration: float) -> None:
-        key = (sp.process_name, label)
-        self.prof_samples[key] = self.prof_samples.get(key, 0.0) + duration
+        self.metrics.counter(
+            "prof.user_us", labels=(sp.process_name, label)
+        ).inc(duration)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<NodeKernel {self.name} addr={self.address}>"

@@ -37,6 +37,8 @@ class StreamResult:
     message_bytes: int
     n_buffers: Optional[int]  # None for the channel (stop-and-wait) runs
     elapsed_us: float
+    #: The run's metrics/trace hub (``Vstat``), for post-hoc inspection.
+    vstat: Optional[object] = None
 
     @property
     def us_per_message(self) -> float:
@@ -94,8 +96,18 @@ def run_sliding_window(
         yield from env.p(credits)
         credits.v()
         start = env.now
+        stalls = env.kernel.metrics.counter("sw.credit_stalls")
+        stall_time = env.kernel.metrics.counter("sw.credit_stall_us")
         for _ in range(n_messages):
-            yield from env.p(credits)
+            # The Table 1 stall: window exhausted, sender blocks until a
+            # buffer-available message restores credit.
+            if credits.value == 0:
+                stalls.inc()
+                stalled_from = env.now
+                yield from env.p(credits)
+                stall_time.inc(env.now - stalled_from)
+            else:
+                yield from env.p(credits)
             # Per-message user-level bookkeeping: window count, buffer
             # management, loop control.
             yield from env.compute(costs.sw_send_user, label="sw-send")
@@ -170,6 +182,7 @@ def run_sliding_window(
         message_bytes=message_bytes,
         n_buffers=n_buffers,
         elapsed_us=done["send_elapsed"],
+        vstat=system.sim.vstat,
     )
 
 
@@ -205,4 +218,5 @@ def run_channel_stream(
         message_bytes=message_bytes,
         n_buffers=None,
         elapsed_us=done["send_elapsed"],
+        vstat=system.sim.vstat,
     )

@@ -193,6 +193,7 @@ class NodeSyscallService:
         """Generator: forward one system call; blocks until the reply."""
         kernel = self.kernel
         costs = kernel.costs
+        kernel.count_syscall(op)
         token = self._next_token
         self._next_token += 1
         event = kernel.sim.event()

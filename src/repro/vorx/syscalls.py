@@ -89,7 +89,11 @@ class DecentralizedSyscallService:
         """Generator: forward one system call to a chosen host."""
         kernel = self.kernel
         costs = kernel.costs
+        kernel.count_syscall(op)
         binding = self._choose(op, args)
+        kernel.metrics.counter(
+            "syscall.host_calls", labels=(str(binding.host_addr),)
+        ).inc()
         token = self._next_token
         self._next_token += 1
         event = kernel.sim.event()

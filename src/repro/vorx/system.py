@@ -74,9 +74,10 @@ class VorxSystem:
             self.fabric = build_single_cluster(self.sim, costs, total)
             node_addrs = list(range(n_nodes))
             ws_addrs = list(range(n_nodes, total))
-            # Rename workstation interfaces for readable traces.
+            # Rename workstation interfaces for readable traces (re-keys
+            # their vstat registries too).
             for i, addr in enumerate(ws_addrs):
-                self.fabric.iface(addr).name = f"ws{i}"
+                self.fabric.iface(addr).rename(f"ws{i}")
         elif total < 2:
             # A single node still needs a cluster to hang off.
             self.fabric = build_single_cluster(self.sim, costs, 2)
@@ -126,6 +127,11 @@ class VorxSystem:
     @property
     def all_kernels(self) -> list[NodeKernel]:
         return self.nodes + self.workstations
+
+    @property
+    def vstat(self):
+        """The simulator's unified metrics/trace hub."""
+        return self.sim.vstat
 
     # ------------------------------------------------------------------
     # running programs

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.apps.cemu import Circuit, Gate, CemuResult, run_cemu, simulate_serial
+from repro.apps.cemu import Circuit, Gate, run_cemu, simulate_serial
 
 
 # ------------------------------------------------------------- gates

@@ -31,7 +31,7 @@ def test_filesystem_is_shared_across_hosts():
     attach_decentralized_stubs(system, [1], [1])
     # Different hosts -- but attach with a shared filesystem:
     system2 = VorxSystem(n_nodes=2, n_workstations=2)
-    services = attach_decentralized_stubs(system2, [0, 1], [0, 1])
+    attach_decentralized_stubs(system2, [0, 1], [0, 1])
 
     def writer(env):
         fd = yield from env.syscall("open", "/shared/data", "w")
@@ -54,7 +54,7 @@ def test_filesystem_is_shared_across_hosts():
 def test_descriptor_affinity_preserved():
     """fd operations return to the host that opened the descriptor."""
     system = VorxSystem(n_nodes=1, n_workstations=2)
-    services = attach_decentralized_stubs(system, [0, 1], [0])
+    attach_decentralized_stubs(system, [0, 1], [0])
 
     def program(env):
         fd = yield from env.syscall("open", "/f", "w")

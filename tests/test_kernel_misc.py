@@ -40,7 +40,7 @@ def test_interrupt_coalescing_single_overhead_per_burst():
             yield env.kernel.isr_exec(400.0)
             received.append(packet.seq)
 
-        obj = yield from env.create_object("burst", handler=handler)
+        yield from env.create_object("burst", handler=handler)
         yield from env.sleep(500_000.0)
 
     def tx_program(env):

@@ -62,8 +62,8 @@ def burst_fit(n_senders, nbytes, extra_sender_messages=0):
             got += 1
         return got
 
-    senders = [system.spawn(i, lambda env, i=i: sender(env, i))
-               for i in range(n_senders)]
+    for i in range(n_senders):
+        system.spawn(i, lambda env, i=i: sender(env, i))
     rx = system.spawn(dst, receiver)
     system.run()
     assert not rx.process.is_alive  # everything eventually delivered

@@ -122,7 +122,7 @@ def test_centralized_opens_serialize_on_host():
 
     # Nodes 1..8 pair up through four channel names.
     def opener(env, service, name):
-        ch = yield from service.open(env.subprocess, name)
+        yield from service.open(env.subprocess, name)
         return env.now
 
     for i in range(1, 9):

@@ -1,7 +1,6 @@
 """Unit tests for the Meglos kernel itself (beyond the flow-control
 experiments)."""
 
-import pytest
 
 from repro.meglos import BusyRetransmit, MeglosSystem
 
@@ -50,7 +49,7 @@ def test_partial_discard_work_is_visible():
 
     for i in range(3):
         system.spawn(i, lambda env, i=i: sender(env, i))
-    rx = system.spawn(3, receiver)
+    system.spawn(3, receiver)
     system.run(until=500_000.0)
     node = system.node(3)
     # Three 912-byte messages need 2736 bytes: the fifo (2048) overflows,

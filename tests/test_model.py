@@ -4,7 +4,7 @@ import dataclasses
 
 import pytest
 
-from repro.model import DEFAULT_COSTS, CostModel
+from repro.model import DEFAULT_COSTS
 from repro.model.units import (
     KB,
     MB,

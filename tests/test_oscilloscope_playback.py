@@ -3,7 +3,6 @@
 import pytest
 
 from repro import VorxSystem
-from repro.sim.trace import Category
 from repro.tools import SoftwareOscilloscope
 
 

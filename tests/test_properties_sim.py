@@ -1,6 +1,6 @@
 """Property-based tests (hypothesis) for the DES engine invariants."""
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.sim import CPU, Simulator, Store, Semaphore
 from repro.sim.trace import Category, Timeline

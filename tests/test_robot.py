@@ -1,6 +1,5 @@
 """Tests for the real-time robot-arm control demo (Section 5)."""
 
-import pytest
 
 from repro.apps.robot import CONTROL_PERIOD_US, run_robot_control
 

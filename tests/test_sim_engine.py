@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Simulator, Event, Timeout, AnyOf, AllOf
+from repro.sim import Simulator, AnyOf, AllOf
 
 
 def test_clock_starts_at_zero():

@@ -1,6 +1,5 @@
 """Coverage for the full forwarded-syscall operation set (Section 3.3)."""
 
-import pytest
 
 from repro import VorxSystem
 from repro.vorx import SyscallError

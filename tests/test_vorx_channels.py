@@ -1,7 +1,6 @@
 """Integration tests for VORX channels: open rendezvous, read/write,
 multiplexed read, close semantics, stop-and-wait flow control."""
 
-import pytest
 
 from repro import VorxSystem
 from repro.vorx import ChannelClosedError, ChannelBusyError

@@ -162,7 +162,7 @@ def test_read_after_local_close_raises():
         return "ok"
 
     def b(env):
-        ch = yield from env.open("rc")
+        yield from env.open("rc")
         # Peer may or may not read; just rendezvous.
 
     sa = system.spawn(0, a)

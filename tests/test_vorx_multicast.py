@@ -127,7 +127,6 @@ def test_multicast_sender_cpu_charged_once_per_send():
 
         def sender(env):
             handle = yield from env.mc_open_send("scale", n_receivers)
-            t0 = env.now
             # Time only the send-side kernel work: measure until the data
             # has left (acks excluded by measuring CPU busy time instead).
             yield from env.mc_send(handle, 256)

@@ -60,7 +60,7 @@ def test_handler_runs_at_interrupt_level():
         def handler(packet):
             fired.append((env.now, packet.payload))
 
-        obj = yield from env.create_object("isr", handler=handler)
+        yield from env.create_object("isr", handler=handler)
         # The subprocess sleeps; the handler fires anyway (ISR context).
         yield from env.sleep(100_000.0)
         return len(fired)

@@ -66,7 +66,7 @@ def test_run_until_complete_detects_deadlock():
     system = VorxSystem(n_nodes=2)
 
     def stuck(env):
-        ch = yield from env.open("never-paired")
+        yield from env.open("never-paired")
 
     sp = system.spawn(0, stuck)
     with pytest.raises(RuntimeError, match="deadlock"):
