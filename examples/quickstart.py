@@ -2,14 +2,13 @@
 
 Two processing nodes rendezvous on a named channel, exchange messages
 under the stop-and-wait protocol, and we inspect what happened with the
-development tools.
+development tools.  Everything used here comes from the top-level
+``repro`` facade.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import VorxSystem
-from repro.metrics.report import summarize
-from repro.tools import Prof, SoftwareOscilloscope
+from repro import Prof, SoftwareOscilloscope, VorxSystem, summarize
 
 
 def main() -> None:
@@ -18,21 +17,21 @@ def main() -> None:
 
     def producer(env):
         # Channels are named; two opens of the same name rendezvous
-        # through the distributed object manager.
-        channel = yield from env.open("results")
-        for item in range(5):
-            # Simulate 2 ms of computation, then ship 1 KB of results.
-            yield from env.compute(2_000.0, label="produce")
-            yield from env.write(channel, 1024, payload=f"item-{item}")
-        yield from env.close(channel)
+        # through the distributed object manager.  The with-block closes
+        # the channel (and notifies the peer) on scope exit.
+        with (yield from env.channel("results")) as channel:
+            for item in range(5):
+                # Simulate 2 ms of computation, then ship 1 KB of results.
+                yield from env.compute(2_000.0, label="produce")
+                yield from env.write(channel, 1024, payload=f"item-{item}")
 
     def consumer(env):
-        channel = yield from env.open("results")
         received = []
-        for _ in range(5):
-            size, payload = yield from env.read(channel)
-            yield from env.compute(500.0, label="consume")
-            received.append(payload)
+        with (yield from env.channel("results")) as channel:
+            for _ in range(5):
+                size, payload = yield from env.read(channel)
+                yield from env.compute(500.0, label="consume")
+                received.append(payload)
         return received
 
     system.spawn(0, producer, name="producer")

@@ -1,0 +1,220 @@
+#!/usr/bin/env python
+"""Faultstorm: run the Section 2 failure modes against both machines.
+
+Part 1 reproduces the retransmission lockout: six processors send long
+messages to one receiver over the S/NET under each overflow-recovery
+policy.  Busy retransmission (the original Meglos scheme) livelocks --
+the receiver drains partial message prefixes forever while free fifo
+space never reaches a whole message's worth.  Random backoff and the
+reservation protocol both deliver everything, at different costs.
+
+Part 2 subjects the HPC/VORX machine to the same fault plan (plus link
+drop/corrupt/duplicate, which the S/NET maps onto its fifo-full signal).
+Hardware flow control and the channel layer's stop-and-wait recovery
+ride through: every message is delivered with no application-visible
+failure.
+
+All randomness is seeded; identical invocations print identical reports.
+
+Usage:  python scripts/faultstorm.py [--smoke] [--seed N] ...
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import FaultPlan, MeglosSystem, VorxSystem, fault_summary
+
+POLICIES = ("busy-retransmit", "random-backoff", "reservation")
+
+
+def run_snet_policy(policy: str, args) -> dict:
+    """Many-to-one long-message burst under one recovery policy."""
+    plan = FaultPlan(seed=args.seed, force_fifo_overflow=args.overflow)
+    system = MeglosSystem(
+        args.senders + 1, recovery=policy, seed=args.seed, faults=plan
+    )
+    dst = args.senders
+    finished: dict[int, float] = {}
+
+    def sender(env, who):
+        attempts = yield from env.send(dst, args.nbytes)
+        finished[who] = env.now
+        return attempts
+
+    def receiver(env):
+        got = 0
+        while got < args.senders:
+            yield from env.recv()
+            got += 1
+        return env.now
+
+    for i in range(args.senders):
+        system.spawn(i, lambda env, i=i: sender(env, i))
+    rx = system.spawn(dst, receiver)
+    system.run(until=args.deadline_us)
+
+    node = system.node(dst)
+    retries = sum(
+        int(n.metrics.counter("snet.retries").value) for n in system.nodes
+    )
+    return {
+        "policy": policy,
+        "delivered": len(finished),
+        "expected": args.senders,
+        "locked_out": rx.process.is_alive,
+        "retries": retries,
+        "partials_discarded": node.partials_discarded,
+        "partial_bytes": node.partial_bytes_discarded,
+        "injected": fault_summary(system.sim),
+        "finish_us": None if rx.process.is_alive else rx.result,
+    }
+
+
+def run_hpc(args) -> dict:
+    """The same storm against HPC hardware flow control + VORX channels."""
+    plan = FaultPlan(
+        seed=args.seed,
+        drop=args.drop,
+        corrupt=args.corrupt,
+        duplicate=args.duplicate,
+        force_fifo_overflow=args.overflow,  # no S/NET fifo here: inert
+        channel_retry_timeout_us=2_000.0,
+    )
+    system = VorxSystem(n_nodes=2 * args.pairs, faults=plan)
+    payloads = [
+        [f"m{p}.{i}" for i in range(args.messages)] for p in range(args.pairs)
+    ]
+
+    def sender(env, pair):
+        with (yield from env.channel(f"pair{pair}")) as ch:
+            for msg in payloads[pair]:
+                yield from env.write(ch, args.nbytes, payload=msg)
+
+    def receiver(env, pair):
+        got = []
+        with (yield from env.channel(f"pair{pair}")) as ch:
+            for _ in payloads[pair]:
+                _, payload = yield from env.read(ch)
+                got.append(payload)
+        return got
+
+    receivers = []
+    for p in range(args.pairs):
+        system.spawn(2 * p, lambda env, p=p: sender(env, p))
+        receivers.append(
+            system.spawn(2 * p + 1, lambda env, p=p: receiver(env, p))
+        )
+    system.run_until_complete(receivers, timeout=args.deadline_us * 10)
+
+    intact = all(
+        rx.result == payloads[p] for p, rx in enumerate(receivers)
+    )
+    chan = {
+        name: sum(
+            int(k.metrics.counter(f"chan.{name}").value)
+            for k in system.all_kernels
+        )
+        for name in (
+            "timeout_retransmits", "corrupt_drops", "duplicate_drops"
+        )
+    }
+    return {
+        "delivered": sum(len(rx.result) for rx in receivers),
+        "expected": args.pairs * args.messages,
+        "intact": intact,
+        "injected": fault_summary(system.sim),
+        "recovery": chan,
+        "finish_us": system.sim.now,
+    }
+
+
+def fmt_injected(injected: dict) -> str:
+    if not injected:
+        return "none"
+    return ", ".join(f"{k}={v}" for k, v in sorted(injected.items()))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes for a ~2 s CI smoke run")
+    parser.add_argument("--seed", type=int, default=1990)
+    parser.add_argument("--senders", type=int, default=6,
+                        help="S/NET senders in the many-to-one burst")
+    parser.add_argument("--nbytes", type=int, default=1000,
+                        help="message size (must not fit 2x in the fifo)")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="lockout detection deadline (simulated ms)")
+    parser.add_argument("--overflow", type=float, default=0.02,
+                        help="forced fifo-overflow probability")
+    parser.add_argument("--drop", type=float, default=0.02,
+                        help="HPC link drop probability")
+    parser.add_argument("--corrupt", type=float, default=0.02,
+                        help="HPC link corruption probability")
+    parser.add_argument("--duplicate", type=float, default=0.02,
+                        help="HPC link duplication probability")
+    parser.add_argument("--pairs", type=int, default=None,
+                        help="HPC sender/receiver pairs")
+    parser.add_argument("--messages", type=int, default=None,
+                        help="messages per HPC pair")
+    args = parser.parse_args(argv)
+
+    if args.deadline_ms is None:
+        args.deadline_ms = 250.0 if args.smoke else 2_000.0
+    args.deadline_us = args.deadline_ms * 1_000.0
+    if args.pairs is None:
+        args.pairs = 2 if args.smoke else 4
+    if args.messages is None:
+        args.messages = 5 if args.smoke else 25
+
+    print("faultstorm: Section 2 failure modes, per-policy recovery")
+    print(f"  seed={args.seed}  senders={args.senders}  "
+          f"nbytes={args.nbytes}  deadline={args.deadline_ms:.0f}ms")
+    print()
+    print(f"[1] S/NET many-to-one burst "
+          f"({args.senders} senders -> 1 receiver, "
+          f"forced-overflow p={args.overflow})")
+    lockouts = {}
+    for policy in POLICIES:
+        r = run_snet_policy(policy, args)
+        lockouts[policy] = r["locked_out"]
+        status = ("LOCKOUT (livelocked at deadline)" if r["locked_out"]
+                  else f"recovered in {r['finish_us'] / 1000.0:.1f} ms")
+        print(f"  {policy:>16}: {r['delivered']}/{r['expected']} delivered, "
+              f"{status}")
+        print(f"  {'':>16}  retries={r['retries']}, partials discarded="
+              f"{r['partials_discarded']} ({r['partial_bytes']} bytes), "
+              f"injected: {fmt_injected(r['injected'])}")
+    print()
+    print(f"[2] HPC/VORX under the same storm "
+          f"(drop={args.drop}, corrupt={args.corrupt}, "
+          f"duplicate={args.duplicate}; {args.pairs} pairs x "
+          f"{args.messages} msgs)")
+    h = run_hpc(args)
+    rec = h["recovery"]
+    print(f"  {'hardware f/c':>16}: {h['delivered']}/{h['expected']} "
+          f"delivered, payloads intact={h['intact']}, "
+          f"finished at {h['finish_us'] / 1000.0:.1f} ms")
+    print(f"  {'':>16}  recovery: timeout-retransmits="
+          f"{rec['timeout_retransmits']}, corrupt-drops="
+          f"{rec['corrupt_drops']}, duplicate-drops="
+          f"{rec['duplicate_drops']}")
+    print(f"  {'':>16}  injected: {fmt_injected(h['injected'])}")
+    print()
+
+    ok = (
+        lockouts["busy-retransmit"]
+        and not lockouts["random-backoff"]
+        and not lockouts["reservation"]
+        and h["delivered"] == h["expected"]
+        and h["intact"]
+    )
+    print("verdict:", "PASS" if ok else "FAIL",
+          "(naive locks out; backoff/reservation recover; HPC delivers all)")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

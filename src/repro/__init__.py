@@ -5,6 +5,13 @@ multicomputer -- the HPC interconnect, the VORX distributed operating
 system, its Meglos/S-NET predecessor, the program development tools, and
 the applications and experiments the paper reports.
 
+This module is the stable public surface: build a machine with
+:class:`VorxSystem` (or :class:`SnetSystem` for the predecessor), write
+programs against :class:`Env`, inject faults with :class:`FaultPlan`,
+and read results via :func:`summarize` / :func:`fault_summary` and the
+tool classes (:class:`Prof`, :class:`SoftwareOscilloscope`,
+:class:`Cdb`, :class:`Vdb`).
+
 Quick start::
 
     from repro import VorxSystem
@@ -12,12 +19,12 @@ Quick start::
     system = VorxSystem(n_nodes=2)
 
     def sender(env):
-        ch = yield from env.open("data")
-        yield from env.write(ch, 1024, payload="hello")
+        with (yield from env.channel("data")) as ch:
+            yield from env.write(ch, 1024, payload="hello")
 
     def receiver(env):
-        ch = yield from env.open("data")
-        size, payload = yield from env.read(ch)
+        with (yield from env.channel("data")) as ch:
+            size, payload = yield from env.read(ch)
         return payload
 
     system.spawn(0, sender)
@@ -29,21 +36,46 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured results of every table and figure.
 """
 
+from repro.faults import FaultPlan, LinkFaults, fault_summary
+from repro.meglos import MeglosSystem, SnetSystem
 from repro.metrics import MetricsRegistry, Vstat
+from repro.metrics.report import summarize, write_jsonl
 from repro.model import DEFAULT_COSTS, CostModel
 from repro.sim import Simulator
-from repro.vorx import Env, NodeKernel, VorxSystem
+from repro.vorx import ChannelHandle, Env, NodeKernel, VorxSystem
 
-__version__ = "1.0.0"
+# The tools build on the vorx layer; importing them last keeps the
+# dependency direction obvious.
+from repro.tools import Cdb, Prof, SoftwareOscilloscope, Vdb
+
+__version__ = "1.1.0"
 
 __all__ = [
+    # systems
     "VorxSystem",
-    "NodeKernel",
+    "MeglosSystem",
+    "SnetSystem",
+    # programming surface
     "Env",
+    "ChannelHandle",
+    "NodeKernel",
+    # fault injection
+    "FaultPlan",
+    "LinkFaults",
+    "fault_summary",
+    # metrics & reports
+    "summarize",
+    "write_jsonl",
+    "MetricsRegistry",
+    "Vstat",
+    # tools
+    "Prof",
+    "SoftwareOscilloscope",
+    "Cdb",
+    "Vdb",
+    # building blocks
     "Simulator",
     "CostModel",
     "DEFAULT_COSTS",
-    "MetricsRegistry",
-    "Vstat",
     "__version__",
 ]

@@ -1,0 +1,249 @@
+"""The runtime fault injector consulted by the transport hooks.
+
+One :class:`FaultInjector` binds a :class:`~repro.faults.plan.FaultPlan`
+to a simulator.  Hooks ask it for a decision per message; every injected
+fault increments a counter in the ``faults`` vstat registry and emits a
+structured trace event, so experiments can report exactly what was
+injected and what the recovery machinery did about it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultPlan
+    from repro.hpc.message import Packet
+    from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class LinkDecision:
+    """What an HPC link should do to one message."""
+
+    drop: bool = False
+    corrupt: bool = False
+    delay_us: float = 0.0
+    duplicate: bool = False
+
+
+@dataclass(frozen=True)
+class BusDecision:
+    """What the S/NET bus should do to one message.
+
+    S/NET delivery is synchronous (the sender learns accepted/fifo-full
+    at the end of its bus tenure), so link-level drop and corruption map
+    onto the rejection signal -- exactly the event the Section 2 software
+    recovery strategies are built to handle.
+    """
+
+    reject: bool = False
+    forced_overflow: bool = False
+    delay_us: float = 0.0
+    duplicate: bool = False
+
+
+_NO_LINK_FAULT = LinkDecision()
+_NO_BUS_FAULT = BusDecision()
+
+
+class FaultInjector:
+    """Per-simulation fault state: seeded RNG streams, crash/stall clocks."""
+
+    def __init__(self, sim: "Simulator", plan: "FaultPlan") -> None:
+        self.sim = sim
+        self.plan = plan
+        #: vstat registry all injection counters live in.
+        self.metrics = sim.vstat.registry("faults")
+        self._m_injected = self.metrics.counter("faults.injected")
+        self._rngs: dict[str, random.Random] = {}
+        self._site_faults: dict[str, object] = {}
+        self._stalls: dict[str, list[tuple[float, float]]] = {}
+        #: address -> crash time; populated up front so hooks never race
+        #: the crash callback.
+        self.crash_times = dict(plan.node_crashes)
+        self._injections = 0
+
+    # ------------------------------------------------------------------
+    # deterministic per-site streams
+    # ------------------------------------------------------------------
+    def rng(self, site: str) -> random.Random:
+        """The RNG stream for ``site`` (depends only on seed + site name)."""
+        stream = self._rngs.get(site)
+        if stream is None:
+            stream = random.Random(f"{self.plan.seed}:{site}")
+            self._rngs[site] = stream
+        return stream
+
+    def _faults_at(self, site: str):
+        faults = self._site_faults.get(site)
+        if faults is None:
+            faults = self.plan.resolve(site)
+            self._site_faults[site] = faults
+        return faults
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def _budget_left(self) -> bool:
+        cap = self.plan.max_injections
+        return cap is None or self._injections < cap
+
+    def note(self, fault: str, site: str, **fields) -> None:
+        """Count one injected fault and emit its trace event."""
+        self._injections += 1
+        self._m_injected.inc()
+        self.metrics.counter("faults.injected_by_kind", labels=(fault,)).inc()
+        self.sim.vstat.emit(
+            self.sim.now, node=site, subsystem="faults",
+            name=f"fault-{fault}", **fields,
+        )
+
+    @property
+    def injections(self) -> int:
+        """Faults injected so far (crash isolation drops not included)."""
+        return self._injections
+
+    def summary(self) -> dict[str, int]:
+        """Injected fault counts by kind (for reports and tests)."""
+        return {
+            labels[0]: int(counter.value)  # type: ignore[attr-defined]
+            for labels, counter in self.metrics.labelled(
+                "faults.injected_by_kind"
+            ).items()
+        }
+
+    # ------------------------------------------------------------------
+    # crashes
+    # ------------------------------------------------------------------
+    def is_crashed(self, address: int) -> bool:
+        """True once ``address`` has passed its crash time."""
+        crash_time = self.crash_times.get(address)
+        return crash_time is not None and self.sim.now >= crash_time
+
+    def _crash(self, address: int, kernel) -> None:
+        """Crash callback: mask the node's interrupts, record the event."""
+        name = getattr(kernel, "name", f"addr{address}")
+        iface = getattr(kernel, "iface", None)
+        if iface is not None:
+            iface.interrupts_enabled = False
+        self.metrics.counter("faults.node_crashes").inc()
+        self.sim.vstat.emit(
+            self.sim.now, node=name, subsystem="faults", name="node-crash",
+            address=address,
+        )
+
+    def crash_drop(self, site: str, packet: "Packet") -> bool:
+        """True if ``packet`` involves a crashed node (drop silently).
+
+        Crash isolation is not an "injection": it is the dead node's
+        interface doing nothing, so it has its own counter and does not
+        consume the ``max_injections`` budget.
+        """
+        if self.is_crashed(packet.src) or self.is_crashed(packet.dst):
+            self.metrics.counter("faults.crash_drops").inc()
+            self.sim.vstat.emit(
+                self.sim.now, node=site, subsystem="faults",
+                name="fault-crash-drop", src=packet.src, dst=packet.dst,
+                size=packet.size,
+            )
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # stalls
+    # ------------------------------------------------------------------
+    def stall_remaining(self, site: str) -> float:
+        """Microseconds until the active stall window on ``site`` ends."""
+        windows = self._stalls.get(site)
+        if windows is None:
+            windows = self.plan.stall_windows(site)
+            self._stalls[site] = windows
+        now = self.sim.now
+        remaining = 0.0
+        for start, end in windows:
+            if start <= now < end:
+                remaining = max(remaining, end - now)
+        if remaining > 0:
+            self.metrics.counter("faults.nic_stalls").inc()
+            self.sim.vstat.emit(
+                self.sim.now, node=site, subsystem="faults", name="nic-stall",
+                stall_us=remaining,
+            )
+        return remaining
+
+    # ------------------------------------------------------------------
+    # per-message decisions
+    # ------------------------------------------------------------------
+    def link_decision(self, site: str, packet: "Packet") -> LinkDecision:
+        """Decide drop/corrupt/delay/duplicate for one HPC link message."""
+        faults = self._faults_at(site)
+        if not faults.any_loss or str(packet.kind) not in self.plan.kinds:
+            return _NO_LINK_FAULT
+        if not self._budget_left():
+            return _NO_LINK_FAULT
+        stream = self.rng(site)
+        drop = stream.random() < faults.drop
+        corrupt = (not drop) and stream.random() < faults.corrupt
+        delay_us = 0.0
+        if stream.random() < faults.delay:
+            delay_us = stream.uniform(*faults.delay_us)
+        duplicate = (not drop) and stream.random() < faults.duplicate
+        if drop:
+            self.note("drop", site, src=packet.src, dst=packet.dst,
+                      size=packet.size, kind=str(packet.kind))
+        if corrupt:
+            self.note("corrupt", site, src=packet.src, dst=packet.dst,
+                      size=packet.size, kind=str(packet.kind))
+        if delay_us > 0:
+            self.note("delay", site, src=packet.src, dst=packet.dst,
+                      delay_us=delay_us)
+        if duplicate:
+            self.note("duplicate", site, src=packet.src, dst=packet.dst,
+                      size=packet.size)
+        if drop or corrupt or delay_us > 0 or duplicate:
+            return LinkDecision(drop, corrupt, delay_us, duplicate)
+        return _NO_LINK_FAULT
+
+    def bus_decision(self, site: str, packet: "Packet") -> BusDecision:
+        """Decide reject/overflow/delay/duplicate for one S/NET message."""
+        faults = self._faults_at(site)
+        overflow_p = self.plan.force_fifo_overflow
+        if not faults.any_loss and overflow_p == 0.0:
+            return _NO_BUS_FAULT
+        if not self._budget_left():
+            return _NO_BUS_FAULT
+        stream = self.rng(site)
+        reject = stream.random() < faults.drop
+        if not reject and stream.random() < faults.corrupt:
+            reject = True
+        forced = (not reject) and stream.random() < overflow_p
+        delay_us = 0.0
+        if stream.random() < faults.delay:
+            delay_us = stream.uniform(*faults.delay_us)
+        duplicate = (not reject) and stream.random() < faults.duplicate
+        if reject:
+            self.note("bus-reject", site, src=packet.src, dst=packet.dst,
+                      size=packet.size)
+        if forced:
+            self.note("forced-overflow", site, src=packet.src,
+                      dst=packet.dst, size=packet.size)
+        if delay_us > 0:
+            self.note("delay", site, src=packet.src, dst=packet.dst,
+                      delay_us=delay_us)
+        if duplicate:
+            self.note("duplicate", site, src=packet.src, dst=packet.dst,
+                      size=packet.size)
+        if reject or forced or delay_us > 0 or duplicate:
+            return BusDecision(reject, forced, delay_us, duplicate)
+        return _NO_BUS_FAULT
+
+
+def fault_summary(sim) -> dict[str, int]:
+    """Injected fault counts by kind for ``sim`` (empty if no plan)."""
+    injector: Optional[FaultInjector] = getattr(sim, "faults", None)
+    if injector is None:
+        return {}
+    return injector.summary()

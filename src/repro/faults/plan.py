@@ -1,0 +1,300 @@
+"""Fault plans: a declarative, validated description of what to inject.
+
+A :class:`FaultPlan` is pure configuration -- it owns no simulator state
+and can be attached to any number of systems (each attach creates an
+independent :class:`~repro.faults.injector.FaultInjector` whose RNG
+streams depend only on ``seed`` and the site names, never on sharing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultInjector
+
+#: Message kinds whose loss the VORX channel layer can recover from
+#: (stop-and-wait retransmission); link-level drop/corrupt/duplicate
+#: default to these so protocols without recovery stay unharmed.
+DEFAULT_FAULTABLE_KINDS: tuple[str, ...] = ("channel-data", "channel-ack")
+
+
+def _check_probability(argument: str, value) -> float:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise TypeError(
+            f"FaultPlan({argument}=...) must be a number in [0, 1], "
+            f"got {value!r}"
+        )
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(
+            f"FaultPlan({argument}=...) must be a probability in [0, 1], "
+            f"got {value!r}"
+        )
+    return float(value)
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """The per-site fault probabilities resolved for one link/bus site."""
+
+    drop: float = 0.0
+    corrupt: float = 0.0
+    delay: float = 0.0
+    duplicate: float = 0.0
+    delay_us: tuple[float, float] = (50.0, 500.0)
+
+    @property
+    def any_loss(self) -> bool:
+        return (self.drop or self.corrupt or self.delay or self.duplicate) > 0
+
+
+class FaultPlan:
+    """A deterministic, seedable description of faults to inject.
+
+    All arguments are keyword-only.  Probabilities are per *message* at
+    the site where the hook runs (a link serialization, a bus tenure).
+
+    Parameters
+    ----------
+    seed:
+        Root seed.  Every injection site derives its own RNG stream from
+        ``(seed, site-name)``, so identical seeds give identical fault
+        schedules regardless of how many sites exist.
+    drop, corrupt, delay, duplicate:
+        Global per-message probabilities applied at every HPC link (and,
+        for ``drop``/``corrupt``, mapped to the rejection signal on the
+        S/NET bus, where delivery is synchronous).
+    delay_us:
+        ``(lo, hi)`` microsecond range an injected delay is drawn from.
+    links:
+        Per-site overrides: a mapping of fnmatch-style site-name patterns
+        (link names such as ``"nic0->c0"``, or ``"snet.bus"``) to dicts
+        with any of ``drop``/``corrupt``/``delay``/``duplicate``/
+        ``delay_us``.  The first matching pattern wins.
+    force_fifo_overflow:
+        Probability that an S/NET fifo deposit is forced to overflow even
+        when space exists -- the hardware signals fifo-full and retains a
+        partial prefix, exercising the software recovery strategies.
+    node_crashes:
+        Mapping of fabric/bus address -> crash time (us).  From that time
+        on the node's interface neither sends nor receives (traffic to
+        and from it is dropped) and its receive interrupt is masked.
+    nic_stalls:
+        Iterable of ``(site_pattern, start_us, duration_us)`` windows
+        during which matching interfaces/links do not transmit.
+    max_injections:
+        Optional global cap on injected faults (crash isolation drops are
+        not counted against it).
+    channel_retry_timeout_us:
+        Ack watchdog period for the VORX stop-and-wait path, armed only
+        while a plan is attached.
+    kinds:
+        Message kinds eligible for link-level drop/corrupt/delay/
+        duplicate (default: channel data + ack, the kinds the stop-and-
+        wait machinery can recover).
+    """
+
+    _FIELDS = (
+        "seed", "drop", "corrupt", "delay", "duplicate", "delay_us",
+        "links", "force_fifo_overflow", "node_crashes", "nic_stalls",
+        "max_injections", "channel_retry_timeout_us", "kinds",
+    )
+
+    def __init__(
+        self,
+        *,
+        seed: int = 1990,
+        drop: float = 0.0,
+        corrupt: float = 0.0,
+        delay: float = 0.0,
+        duplicate: float = 0.0,
+        delay_us: Sequence[float] = (50.0, 500.0),
+        links: Optional[Mapping[str, Mapping]] = None,
+        force_fifo_overflow: float = 0.0,
+        node_crashes: Optional[Mapping[int, float]] = None,
+        nic_stalls: Optional[Iterable[tuple[str, float, float]]] = None,
+        max_injections: Optional[int] = None,
+        channel_retry_timeout_us: float = 5_000.0,
+        kinds: Sequence[str] = DEFAULT_FAULTABLE_KINDS,
+    ) -> None:
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise TypeError(f"FaultPlan(seed=...) must be an int, got {seed!r}")
+        self.seed = seed
+        self.defaults = LinkFaults(
+            drop=_check_probability("drop", drop),
+            corrupt=_check_probability("corrupt", corrupt),
+            delay=_check_probability("delay", delay),
+            duplicate=_check_probability("duplicate", duplicate),
+            delay_us=self._check_delay_range("delay_us", delay_us),
+        )
+        self.links: dict[str, LinkFaults] = {}
+        for pattern, override in (links or {}).items():
+            unknown = set(override) - {
+                "drop", "corrupt", "delay", "duplicate", "delay_us"
+            }
+            if unknown:
+                raise ValueError(
+                    f"FaultPlan(links=...) override for {pattern!r} has "
+                    f"unknown field(s) {sorted(unknown)!r}"
+                )
+            merged = {
+                "drop": self.defaults.drop,
+                "corrupt": self.defaults.corrupt,
+                "delay": self.defaults.delay,
+                "duplicate": self.defaults.duplicate,
+                **{k: v for k, v in override.items() if k != "delay_us"},
+            }
+            merged = {
+                key: _check_probability(f"links[{pattern!r}].{key}", value)
+                for key, value in merged.items()
+            }
+            merged["delay_us"] = self._check_delay_range(
+                f"links[{pattern!r}].delay_us",
+                override.get("delay_us", self.defaults.delay_us),
+            )
+            self.links[pattern] = LinkFaults(**merged)
+        self.force_fifo_overflow = _check_probability(
+            "force_fifo_overflow", force_fifo_overflow
+        )
+        self.node_crashes: dict[int, float] = {}
+        for address, crash_time in (node_crashes or {}).items():
+            if not isinstance(address, int):
+                raise TypeError(
+                    f"FaultPlan(node_crashes=...) keys must be int "
+                    f"addresses, got {address!r}"
+                )
+            if crash_time < 0:
+                raise ValueError(
+                    f"FaultPlan(node_crashes=...) crash time for node "
+                    f"{address} must be >= 0, got {crash_time!r}"
+                )
+            self.node_crashes[address] = float(crash_time)
+        self.nic_stalls: list[tuple[str, float, float]] = []
+        for window in nic_stalls or ():
+            try:
+                pattern, start, duration = window
+            except (TypeError, ValueError):
+                raise ValueError(
+                    "FaultPlan(nic_stalls=...) entries must be "
+                    f"(site_pattern, start_us, duration_us), got {window!r}"
+                ) from None
+            if start < 0 or duration <= 0:
+                raise ValueError(
+                    f"FaultPlan(nic_stalls=...) window {window!r} needs "
+                    "start_us >= 0 and duration_us > 0"
+                )
+            self.nic_stalls.append((str(pattern), float(start), float(duration)))
+        if max_injections is not None and max_injections < 0:
+            raise ValueError(
+                f"FaultPlan(max_injections=...) must be >= 0 or None, "
+                f"got {max_injections!r}"
+            )
+        self.max_injections = max_injections
+        if channel_retry_timeout_us <= 0:
+            raise ValueError(
+                f"FaultPlan(channel_retry_timeout_us=...) must be positive, "
+                f"got {channel_retry_timeout_us!r}"
+            )
+        self.channel_retry_timeout_us = float(channel_retry_timeout_us)
+        self.kinds = frozenset(str(kind) for kind in kinds)
+
+    @staticmethod
+    def _check_delay_range(argument: str, value) -> tuple[float, float]:
+        try:
+            lo, hi = value
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"FaultPlan({argument}=...) must be a (lo, hi) microsecond "
+                f"pair, got {value!r}"
+            ) from None
+        if lo < 0 or hi < lo:
+            raise ValueError(
+                f"FaultPlan({argument}=...) needs 0 <= lo <= hi, "
+                f"got {value!r}"
+            )
+        return (float(lo), float(hi))
+
+    @property
+    def can_lose_messages(self) -> bool:
+        """True if this plan can make channel traffic vanish.
+
+        The VORX ack watchdog is armed only when it can (drops, faults on
+        some link, a crashed node); an all-zero plan leaves the machine's
+        event schedule bit-identical to no plan at all.
+        """
+        return (
+            self.defaults.any_loss
+            or any(faults.any_loss for faults in self.links.values())
+            or bool(self.node_crashes)
+        )
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def resolve(self, site: str) -> LinkFaults:
+        """The fault probabilities in force at ``site`` (first match wins)."""
+        for pattern, faults in self.links.items():
+            if fnmatchcase(site, pattern):
+                return faults
+        return self.defaults
+
+    def stall_windows(self, site: str) -> list[tuple[float, float]]:
+        """The ``(start, end)`` stall windows applying to ``site``."""
+        return [
+            (start, start + duration)
+            for pattern, start, duration in self.nic_stalls
+            if fnmatchcase(site, pattern)
+        ]
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+    def attach(self, system) -> "FaultInjector":
+        """Attach to a ``VorxSystem``/``SnetSystem``; returns the injector.
+
+        ``system`` only needs ``sim`` plus (for crash wiring) a way to
+        find a kernel by address -- both system classes provide one.
+        """
+        from repro.faults.injector import FaultInjector
+
+        sim = system.sim
+        if getattr(sim, "faults", None) is not None:
+            raise RuntimeError(
+                "a FaultPlan is already attached to this simulator"
+            )
+        injector = FaultInjector(sim, self)
+        sim.faults = injector
+        for address, crash_time in self.node_crashes.items():
+            kernel = self._kernel_for(system, address)
+            sim.call_later(
+                max(0.0, crash_time - sim.now), injector._crash, address,
+                kernel,
+            )
+        return injector
+
+    @staticmethod
+    def _kernel_for(system, address: int):
+        """Best-effort kernel lookup by address (VORX or Meglos systems)."""
+        finder = getattr(system, "kernel_at", None)
+        if finder is not None:
+            try:
+                return finder(address)
+            except KeyError:
+                return None
+        nodes = getattr(system, "nodes", None)
+        if nodes is not None:
+            for node in nodes:
+                if getattr(node, "address", None) == address:
+                    return node
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        d = self.defaults
+        return (
+            f"<FaultPlan seed={self.seed} drop={d.drop} corrupt={d.corrupt} "
+            f"delay={d.delay} duplicate={d.duplicate} "
+            f"overflow={self.force_fifo_overflow} "
+            f"crashes={len(self.node_crashes)} stalls={len(self.nic_stalls)}>"
+        )

@@ -81,19 +81,48 @@ class Link:
         while True:
             packet, done = yield self._requests.get()
             self._m_queue.set(len(self._requests))
-            # Hardware flow control: wait for a whole-message buffer
-            # downstream before occupying the wire.
-            stall_from = self.sim.now
-            yield self.downstream.reserve()
-            stalled = self.sim.now - stall_from
-            if stalled > 0:
-                self.metrics.counter("link.reserve_stalls").inc()
-                self.metrics.counter("link.reserve_stall_us").inc(stalled)
-            wire = self.costs.hpc_wire_time(packet.size) + self.costs.hpc_hop_latency
-            yield self.sim.timeout(wire)
-            self._m_busy.inc(wire)
-            self._m_messages.inc()
-            self._m_bytes.inc(packet.size)
-            packet.hops += 1
-            self.downstream.deliver(packet)
-            done.succeed()
+            injector = self.sim.faults
+            decision = None
+            if injector is not None:
+                stall = injector.stall_remaining(self.name)
+                if stall > 0:
+                    # NIC stall window: the wire sits idle until it ends.
+                    yield self.sim.timeout(stall)
+                if injector.crash_drop(self.name, packet):
+                    done.succeed()
+                    continue
+                decision = injector.link_decision(self.name, packet)
+                if decision.drop:
+                    # Lost on the wire: serialization happened, but the
+                    # downstream end discarded the damaged message
+                    # immediately, so no buffer is held.
+                    wire = (self.costs.hpc_wire_time(packet.size)
+                            + self.costs.hpc_hop_latency)
+                    yield self.sim.timeout(wire)
+                    self._m_busy.inc(wire)
+                    done.succeed()
+                    continue
+                if decision.corrupt:
+                    packet.corrupted = True
+                if decision.delay_us > 0:
+                    yield self.sim.timeout(decision.delay_us)
+            copies = 2 if decision is not None and decision.duplicate else 1
+            for copy in range(copies):
+                # Hardware flow control: wait for a whole-message buffer
+                # downstream before occupying the wire.
+                stall_from = self.sim.now
+                yield self.downstream.reserve()
+                stalled = self.sim.now - stall_from
+                if stalled > 0:
+                    self.metrics.counter("link.reserve_stalls").inc()
+                    self.metrics.counter("link.reserve_stall_us").inc(stalled)
+                wire = (self.costs.hpc_wire_time(packet.size)
+                        + self.costs.hpc_hop_latency)
+                yield self.sim.timeout(wire)
+                self._m_busy.inc(wire)
+                self._m_messages.inc()
+                self._m_bytes.inc(packet.size)
+                packet.hops += 1
+                self.downstream.deliver(packet)
+                if copy == 0:
+                    done.succeed()

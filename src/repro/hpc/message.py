@@ -69,6 +69,14 @@ class Packet:
     #: own rendezvous is still in flight.
     src_channel: int = 0
     payload: Any = None
+    #: Stop-and-wait transfer id (per sending endpoint, monotone).  Lets
+    #: receivers detect duplicates created by fault injection or spurious
+    #: retransmission; ``None`` outside the channel data path.
+    xfer: Optional[int] = None
+    #: Set by the fault injector when the message was damaged in flight;
+    #: receivers treat a corrupted message as undecodable and request
+    #: retransmission.
+    corrupted: bool = False
     #: Monotone id for tracing and deterministic tie-breaks.
     seq: int = field(default_factory=lambda: next(_packet_seq))
     #: Simulation time the packet was injected (set by the NIC).

@@ -96,6 +96,14 @@ class HPCInterface:
                 f"{self.name}: packet src {packet.src} != interface address "
                 f"{self.address}"
             )
+        injector = self.sim.faults
+        if injector is not None and injector.is_crashed(self.address):
+            # A crashed node's NIC is dead silicon: the message is
+            # accepted into nothing and vanishes.
+            injector.crash_drop(self.name, packet)
+            dead = Event(self.sim)
+            dead.succeed()
+            return dead
         packet.sent_at = self.sim.now
         self._m_sent.inc()
         self._m_bytes_sent.inc(packet.size)

@@ -18,20 +18,25 @@ compare them with the HPC's in-hardware flow control.
 
 from repro.meglos.channels import MeglosChannelService, install_channels
 from repro.meglos.flowcontrol import (
+    POLICIES,
     BusyRetransmit,
     RandomBackoff,
     Reservation,
     RetryStrategy,
+    make_strategy,
 )
-from repro.meglos.kernel import MeglosNode, MeglosSystem
+from repro.meglos.kernel import MeglosNode, MeglosSystem, SnetSystem
 
 __all__ = [
     "MeglosNode",
     "MeglosSystem",
+    "SnetSystem",
     "MeglosChannelService",
     "install_channels",
     "RetryStrategy",
     "BusyRetransmit",
     "RandomBackoff",
     "Reservation",
+    "POLICIES",
+    "make_strategy",
 ]

@@ -90,3 +90,29 @@ class Reservation(RetryStrategy):
         # Only reached if a *request* is rejected (fifo crammed even for
         # short messages); retry politely.
         yield node.sim.timeout(node.costs.snet_retry_spin * 10)
+
+
+#: Selectable policy names (the Section 2 spectrum) for
+#: ``MeglosSystem(recovery=...)``.  "naive" is an alias for the original
+#: busy-retransmit scheme that produces the retransmission lockout.
+POLICIES: tuple[str, ...] = (
+    "busy-retransmit", "naive", "random-backoff", "reservation"
+)
+
+
+def make_strategy(policy: str, address: int, seed: int = 1990) -> RetryStrategy:
+    """Build a fresh strategy instance for one sender.
+
+    Each sender gets its own instance (RandomBackoff carries per-sender
+    RNG state, seeded deterministically from ``seed`` and the sender's
+    bus ``address`` so identical seeds give identical backoff schedules).
+    """
+    if policy in ("busy-retransmit", "naive"):
+        return BusyRetransmit()
+    if policy == "random-backoff":
+        return RandomBackoff(seed=seed + address)
+    if policy == "reservation":
+        return Reservation()
+    raise ValueError(
+        f"recovery policy must be one of {POLICIES}, got {policy!r}"
+    )

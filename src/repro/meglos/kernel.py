@@ -18,7 +18,13 @@ from collections import deque
 from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
 
 from repro.hpc.message import MessageKind, Packet
-from repro.meglos.flowcontrol import BusyRetransmit, Reservation, RetryStrategy
+from repro.meglos.flowcontrol import (
+    POLICIES,
+    BusyRetransmit,
+    Reservation,
+    RetryStrategy,
+    make_strategy,
+)
 from repro.sim.cpu import CPU, PRIORITY_ISR, PRIORITY_KERNEL
 from repro.sim.resources import Store
 from repro.sim.trace import Category, TraceLog
@@ -48,7 +54,16 @@ class MeglosNode:
         self.address = iface.address
         self.name = name or f"meglos{self.address}"
         self.cpu = CPU(sim, self.name)
-        self.trace = TraceLog()
+        #: This node's vstat metrics registry.
+        self.metrics = sim.vstat.registry(self.name)
+        self.trace = TraceLog(stream=sim.vstat.events, node=self.name)
+        self._m_sends = self.metrics.counter("snet.sends")
+        self._m_retries = self.metrics.counter("snet.retries")
+        self._m_recovered = self.metrics.counter("snet.recovered_sends")
+        self._m_partials = self.metrics.counter("snet.partials_discarded")
+        self._m_partial_bytes = self.metrics.counter(
+            "snet.partial_bytes_discarded"
+        )
         self.subprocesses: list[Subprocess] = []
         #: Delivered whole messages awaiting a reader.
         self.inbox: Store = Store(sim)
@@ -57,6 +72,9 @@ class MeglosNode:
         #: Partial messages read-and-discarded (Section 2's wasted work).
         self.partials_discarded = 0
         self.partial_bytes_discarded = 0
+        #: Builds this node's default overflow-recovery strategy; set by
+        #: :class:`MeglosSystem` from its ``recovery=`` policy.
+        self.strategy_factory: Callable[[], RetryStrategy] = BusyRetransmit
         # Reservation protocol state (receiver side).
         self._grant_queue: deque[int] = deque()
         self._grant_active: Optional[int] = None
@@ -175,6 +193,8 @@ class MeglosNode:
             if entry.partial:
                 self.partials_discarded += 1
                 self.partial_bytes_discarded += entry.stored_bytes
+                self._m_partials.inc()
+                self._m_partial_bytes.inc(entry.stored_bytes)
                 continue
             yield from self._deliver(entry.packet)
         self._isr_active = False
@@ -207,6 +227,7 @@ class MeglosNode:
         """
         if isinstance(strategy, Reservation):
             yield from self._reserve(sp, dst, strategy)
+        self._m_sends.inc()
         attempts = 0
         # The message is copied into the interface once; retransmissions
         # just re-trigger the hardware ("continuously resend"), which is
@@ -223,8 +244,23 @@ class MeglosNode:
             accepted = yield from self.iface.send(packet)
             if accepted:
                 strategy.reset()
+                if attempts > 1:
+                    self._m_recovered.inc()
+                    self.sim.vstat.emit(
+                        self.sim.now, node=self.name, subsystem="snet",
+                        name="send-recovered", dst=dst, size=nbytes,
+                        attempts=attempts, policy=strategy.name,
+                    )
                 return attempts
+            self._m_retries.inc()
+            self.metrics.counter(
+                "snet.retries_by_policy", labels=(strategy.name,)
+            ).inc()
             yield from strategy.wait(self, attempts)
+
+    def default_strategy(self) -> RetryStrategy:
+        """A fresh recovery strategy per the system's configured policy."""
+        return self.strategy_factory()
 
     def _reserve(self, sp: Subprocess, dst: int, strategy: RetryStrategy):
         """Request/grant handshake preceding a reservation-mode send."""
@@ -330,8 +366,12 @@ class MeglosEnv:
 
     def send(self, dst: int, nbytes: int,
              strategy: Optional[RetryStrategy] = None, payload: Any = None):
-        """Generator: reliable send under an overflow-recovery strategy."""
-        strategy = strategy or BusyRetransmit()
+        """Generator: reliable send under an overflow-recovery strategy.
+
+        With no explicit ``strategy``, the system's configured
+        ``recovery=`` policy decides (historically: busy retransmission).
+        """
+        strategy = strategy or self._node.default_strategy()
         attempts = yield from self._node.send_reliable(
             self._sp, dst, nbytes, strategy, payload
         )
@@ -356,23 +396,72 @@ class MeglosSystem:
     #: The S/NET's practical size limit (paper: largest system had 12).
     MAX_NODES = 13
 
-    def __init__(self, n_nodes: int, costs=None, sim: Optional["Simulator"] = None):
+    def __init__(
+        self,
+        n_nodes: int,
+        costs=None,
+        sim: Optional["Simulator"] = None,
+        *,
+        recovery: str = "busy-retransmit",
+        seed: int = 1990,
+        faults=None,
+    ):
+        """Build the machine.
+
+        ``recovery`` selects the Section 2 overflow-recovery policy every
+        node's sends default to: ``"busy-retransmit"`` (alias
+        ``"naive"`` -- the original scheme, livelocks under many-to-one
+        bursts), ``"random-backoff"``, or ``"reservation"``.  ``seed``
+        makes the backoff schedules reproducible.  ``faults`` optionally
+        attaches a :class:`repro.faults.FaultPlan`.
+        """
         from repro.model.costs import DEFAULT_COSTS
         from repro.sim.engine import Simulator as _Sim
 
+        if not isinstance(n_nodes, int) or isinstance(n_nodes, bool):
+            raise TypeError(
+                f"MeglosSystem(n_nodes=...) must be an int, got {n_nodes!r}"
+            )
         if not 2 <= n_nodes <= self.MAX_NODES:
             raise ValueError(
                 f"the S/NET supported 2..{self.MAX_NODES} processors, "
                 f"got {n_nodes}"
             )
+        if recovery not in POLICIES:
+            raise ValueError(
+                f"MeglosSystem(recovery=...) must be one of {POLICIES}, "
+                f"got {recovery!r}"
+            )
         self.sim = sim or _Sim()
         self.costs = costs or DEFAULT_COSTS
+        self.recovery = recovery
         self.bus = SNetBus(self.sim, self.costs)
         self.nodes: list[MeglosNode] = []
         for i in range(n_nodes):
             iface = SNetInterface(self.sim, self.costs, self.bus, address=i)
             self.bus.register(iface)
-            self.nodes.append(MeglosNode(self.sim, self.costs, iface, f"m{i}"))
+            node = MeglosNode(self.sim, self.costs, iface, f"m{i}")
+            node.strategy_factory = (
+                lambda addr=i: make_strategy(recovery, addr, seed)
+            )
+            self.nodes.append(node)
+        if faults is not None:
+            if not hasattr(faults, "attach"):
+                raise TypeError(
+                    f"MeglosSystem(faults=...) must be a FaultPlan or "
+                    f"None, got {faults!r}"
+                )
+            faults.attach(self)
+
+    @property
+    def faults(self):
+        """The attached fault injector, or ``None``."""
+        return self.sim.faults
+
+    @property
+    def vstat(self):
+        """The simulator's unified metrics/trace hub."""
+        return self.sim.vstat
 
     def node(self, index: int) -> MeglosNode:
         return self.nodes[index]
@@ -382,3 +471,9 @@ class MeglosSystem:
 
     def run(self, until: Optional[float] = None) -> None:
         self.sim.run(until=until)
+
+
+#: The paper never names the OS and the hardware separately in casual
+#: use; ``SnetSystem`` is the substrate-named alias for scripts that
+#: contrast "the S/NET machine" with "the HPC machine".
+SnetSystem = MeglosSystem

@@ -53,6 +53,10 @@ class Simulator:
         #: Unified instrumentation hub: every component sharing this
         #: simulator registers its metrics and trace events here.
         self.vstat = Vstat()
+        #: Attached fault injector (:mod:`repro.faults`), or ``None``.
+        #: When ``None`` every transport fault hook is a no-op and the
+        #: simulation is bit-identical to an uninstrumented run.
+        self.faults = None
 
     # -- clock -------------------------------------------------------------
     @property

@@ -64,10 +64,42 @@ class SNetBus:
             raise KeyError(f"no S/NET interface at address {packet.dst}") from None
         yield self._arbiter.acquire()
         try:
+            injector = self.sim.faults
+            decision = None
+            if injector is not None:
+                if injector.crash_drop("snet.bus", packet):
+                    # A crashed endpoint: the bus tenure happens but no
+                    # interface responds; the sender sees silence, which
+                    # on the S/NET reads as an accepted transmission.
+                    yield self.sim.timeout(
+                        self.costs.snet_wire_time(packet.size)
+                    )
+                    return True
+                decision = injector.bus_decision("snet.bus", packet)
+                if decision.delay_us > 0:
+                    yield self.sim.timeout(decision.delay_us)
             yield self.sim.timeout(self.costs.snet_wire_time(packet.size))
             self._m_transmissions.inc()
             self._m_bytes.inc(packet.size)
-            accepted = dst.fifo.offer(packet)
+            if decision is not None and decision.reject:
+                # Damaged on the bus: the receiving interface's checksum
+                # fails and it signals fifo-full back -- the same signal
+                # the Section 2 recovery strategies are built around.
+                accepted = False
+            elif decision is not None and decision.forced_overflow:
+                accepted = dst.fifo.force_overflow(packet)
+            else:
+                accepted = dst.fifo.offer(packet)
+                if decision is not None and decision.duplicate and accepted:
+                    # The duplicate occupies a second bus tenure and may
+                    # itself overflow the fifo.
+                    yield self.sim.timeout(
+                        self.costs.snet_wire_time(packet.size)
+                    )
+                    self._m_transmissions.inc()
+                    self._m_bytes.inc(packet.size)
+                    if not dst.fifo.offer(packet):
+                        self._m_rejections.inc()
             if not accepted:
                 self._m_rejections.inc()
                 self.sim.vstat.emit(

@@ -106,6 +106,27 @@ class SNetFifo:
         self._m_used.set(self._used)
         return False
 
+    def force_overflow(self, packet: "Packet") -> bool:
+        """Fault-injection hook: treat this deposit as a fifo overflow.
+
+        Models the fifo being (almost) full at the instant of arrival
+        even when space exists: the message is rejected, and the prefix
+        "received up to the time of the overflow" -- half the on-wire
+        bytes, bounded by actual free space -- is retained for the
+        software to read and discard.  Always returns False (the
+        fifo-full signal).
+        """
+        wire_bytes = packet.size + self.header_bytes
+        retain = min(self.capacity - self._used, wire_bytes // 2)
+        self._m_rejected.inc()
+        self.metrics.counter("fifo.forced_overflows").inc()
+        if retain > 0:
+            self._entries.append(FifoEntry(packet, retain, partial=True))
+            self._used += retain
+            self._m_partial.inc(retain)
+        self._m_used.set(self._used)
+        return False
+
     # -- software (kernel) side ----------------------------------------------
     def read(self) -> Optional[FifoEntry]:
         """Remove and return the oldest entry (None if empty).

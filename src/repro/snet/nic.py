@@ -62,6 +62,13 @@ class SNetInterface:
             raise ValueError(
                 f"{self.name}: packet src {packet.src} != address {self.address}"
             )
+        injector = self.sim.faults
+        if injector is not None:
+            stall = injector.stall_remaining(self.name)
+            if stall > 0:
+                # NIC stall window: the interface cannot start its bus
+                # request until the window ends.
+                yield self.sim.timeout(stall)
         accepted = yield from self.bus.transmit(packet)
         self._m_sent.inc()
         if not accepted:

@@ -21,7 +21,7 @@ Subpackages of the kernel:
 * :mod:`repro.vorx.system` -- the :class:`VorxSystem` machine builder.
 """
 
-from repro.vorx.env import Env
+from repro.vorx.env import ChannelHandle, Env
 from repro.vorx.errors import (
     AllocationError,
     ChannelBusyError,
@@ -44,6 +44,7 @@ from repro.vorx.system import VorxSystem
 
 __all__ = [
     "Env",
+    "ChannelHandle",
     "NodeKernel",
     "VorxSystem",
     "Subprocess",

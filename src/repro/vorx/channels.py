@@ -55,8 +55,14 @@ class ChannelEndpoint:
         self.read_group: Optional[list["ChannelEndpoint"]] = None
         #: Event the blocked writer waits on (stop-and-wait ack).
         self.writer_event: Optional["Event"] = None
-        #: Unacknowledged in-flight fragment kept for retransmission.
-        self.unacked: Optional[tuple[int, Any]] = None
+        #: Unacknowledged in-flight fragment kept for retransmission:
+        #: ``(size, payload, xfer)``.
+        self.unacked: Optional[tuple[int, Any, int]] = None
+        #: Next outgoing transfer id (stamps each fragment so the peer
+        #: can discard duplicates created by faults or retransmission).
+        self.next_xfer = 0
+        #: Highest transfer id delivered from the peer (duplicate filter).
+        self.last_xfer = -1
         #: True if we dropped a data message and owe the peer a RETRY.
         self.starved_peer = False
         #: Statistics reported by the communications debugger.  Both ends
@@ -106,6 +112,12 @@ class ChannelService:
         self._m_writes = metrics.counter("chan.writes")
         self._m_naks = metrics.counter("chan.naks")
         self._m_retransmits = metrics.counter("chan.retransmits")
+        #: Fault-recovery accounting (only move when a FaultPlan is live).
+        self._m_timeout_retransmits = metrics.counter(
+            "chan.timeout_retransmits"
+        )
+        self._m_corrupt_drops = metrics.counter("chan.corrupt_drops")
+        self._m_duplicate_drops = metrics.counter("chan.duplicate_drops")
         #: Whole-write round-trip latency (syscall entry to final ack).
         self._m_write_rtt = metrics.histogram("chan.write_rtt_us")
 
@@ -159,12 +171,16 @@ class ChannelService:
                     eid=endpoint.eid, paired=endpoint.peer_addr is not None)
         if already_closed or endpoint.peer_addr is None:
             return
+        # The close carries the highest transfer id we delivered, so a
+        # writer whose final ack was lost can tell delivered-then-closed
+        # from closed-with-data-lost.
         kernel.post(
             dst=endpoint.peer_addr,
             size=kernel.costs.chan_ack_bytes,
             kind=MessageKind.CHANNEL_CTRL,
             channel=endpoint.peer_eid,
             payload=CTRL_CLOSE,
+            xfer=endpoint.last_xfer if endpoint.last_xfer >= 0 else None,
         )
 
     # ------------------------------------------------------------------
@@ -205,7 +221,9 @@ class ChannelService:
                 raise ChannelClosedError(f"channel {endpoint.name!r} closed")
             ack = kernel.sim.event()
             endpoint.writer_event = ack
-            endpoint.unacked = (fragment, payload if last else None)
+            xfer = endpoint.next_xfer
+            endpoint.next_xfer += 1
+            endpoint.unacked = (fragment, payload if last else None, xfer)
             kernel.post(
                 dst=endpoint.peer_addr,
                 size=fragment,
@@ -213,7 +231,14 @@ class ChannelService:
                 channel=endpoint.peer_eid,
                 src_channel=endpoint.eid,
                 payload=(payload if last else None),
+                xfer=xfer,
             )
+            injector = kernel.sim.faults
+            if injector is not None and injector.plan.can_lose_messages:
+                # Under fault injection a data fragment or its ack can be
+                # lost outright; arm the ack watchdog so stop-and-wait
+                # recovers by timeout retransmission.
+                kernel.sim.process(self._ack_watchdog(endpoint, ack))
             try:
                 yield from kernel.block(sp, BlockReason.OUTPUT, ack)
             finally:
@@ -229,6 +254,45 @@ class ChannelService:
             self._m_bytes_sent.inc(fragment)
         self._m_writes.inc()
         self._m_write_rtt.observe(kernel.sim.now - started_at)
+
+    def _ack_watchdog(self, endpoint: ChannelEndpoint, ack: "Event"):
+        """Generator (kernel context): retransmit until the ack arrives.
+
+        Only started while a fault plan is attached.  The receiver's
+        transfer-id filter makes spurious retransmissions harmless (they
+        are dropped and re-acked).
+        """
+        kernel = self.kernel
+        period = kernel.sim.faults.plan.channel_retry_timeout_us
+        while True:
+            yield kernel.sim.timeout(period)
+            if (
+                ack.triggered
+                or endpoint.writer_event is not ack
+                or endpoint.unacked is None
+                or endpoint.closed
+            ):
+                return
+            size, payload, xfer = endpoint.unacked
+            self._m_timeout_retransmits.inc()
+            kernel.emit("channel", "channel-timeout-retransmit",
+                        data=endpoint.name, eid=endpoint.eid, size=size,
+                        xfer=xfer)
+            yield kernel.k_exec(
+                kernel.costs.chan_send_kernel + kernel.costs.copy_time(size)
+            )
+            # The ack may have raced in while we were charging the copy.
+            if ack.triggered or endpoint.writer_event is not ack:
+                return
+            kernel.post(
+                dst=endpoint.peer_addr,
+                size=size,
+                kind=MessageKind.CHANNEL_DATA,
+                channel=endpoint.peer_eid,
+                src_channel=endpoint.eid,
+                payload=payload,
+                xfer=xfer,
+            )
 
     # ------------------------------------------------------------------
     # read (subprocess context)
@@ -319,6 +383,25 @@ class ChannelService:
         """Generator (ISR context): an incoming channel data message."""
         kernel = self.kernel
         costs = kernel.costs
+        if packet.corrupted:
+            # Undecodable fragment: read it in, discard it, and ask the
+            # sender (addressed by the id in the damaged header's
+            # still-checksummed trailer) to retransmit right away.
+            yield kernel.isr_exec(
+                costs.chan_recv_kernel + costs.copy_time(packet.size)
+            )
+            self._m_corrupt_drops.inc()
+            kernel.emit("channel", "channel-corrupt-drop", src=packet.src,
+                        size=packet.size, xfer=packet.xfer)
+            yield kernel.isr_exec(costs.chan_ack_send)
+            kernel.post(
+                dst=packet.src,
+                size=costs.chan_ack_bytes,
+                kind=MessageKind.CHANNEL_CTRL,
+                channel=packet.src_channel,
+                payload=CTRL_RETRY,
+            )
+            return
         endpoint = self.endpoints.get(packet.channel)
         if endpoint is None or endpoint.closed:
             # Stale data for a closed channel: consume and drop.
@@ -327,6 +410,23 @@ class ChannelService:
         yield kernel.isr_exec(
             costs.chan_recv_kernel + costs.copy_time(packet.size)
         )
+        if packet.xfer is not None and packet.xfer <= endpoint.last_xfer:
+            # Duplicate fragment (injected, or a spurious retransmission
+            # after a lost/late ack): discard, but re-ack -- the sender
+            # may still be waiting because the first ack was lost.
+            self._m_duplicate_drops.inc()
+            kernel.emit("channel", "channel-duplicate-drop",
+                        data=endpoint.name, eid=endpoint.eid,
+                        xfer=packet.xfer)
+            yield kernel.isr_exec(costs.chan_ack_send)
+            kernel.post(
+                dst=packet.src,
+                size=costs.chan_ack_bytes,
+                kind=MessageKind.CHANNEL_ACK,
+                channel=packet.src_channel,
+                xfer=packet.xfer,
+            )
+            return
         delivered = False
         if endpoint.reader_event is not None:
             event = endpoint.reader_event
@@ -352,6 +452,8 @@ class ChannelService:
             kernel.emit("channel", "channel-nak", data=endpoint.name,
                         eid=endpoint.eid, size=packet.size)
             return
+        if packet.xfer is not None:
+            endpoint.last_xfer = packet.xfer
         endpoint.messages_received += 1
         endpoint.bytes_received += packet.size
         self._m_frags_received.inc()
@@ -359,20 +461,38 @@ class ChannelService:
         yield kernel.isr_exec(costs.chan_ack_send)
         # Address the ack with the sender's endpoint id from the data
         # header: our own rendezvous reply may still be in flight, so
-        # endpoint.peer_eid cannot be relied on here.
+        # endpoint.peer_eid cannot be relied on here.  The ack echoes the
+        # fragment's transfer id so a late re-ack (from the duplicate
+        # filter) cannot acknowledge a newer fragment.
         kernel.post(
             dst=packet.src,
             size=costs.chan_ack_bytes,
             kind=MessageKind.CHANNEL_ACK,
             channel=packet.src_channel,
+            xfer=packet.xfer,
         )
 
     def on_ack(self, packet: Packet):
         """Generator (ISR context): stop-and-wait acknowledgement."""
         kernel = self.kernel
         yield kernel.isr_exec(kernel.costs.chan_ack_recv)
+        if packet.corrupted:
+            # An undecodable ack is a lost ack; the writer's watchdog
+            # retransmits and the duplicate filter re-acks.
+            self._m_corrupt_drops.inc()
+            kernel.emit("channel", "channel-corrupt-drop", src=packet.src,
+                        size=packet.size, kind="ack")
+            return
         endpoint = self.endpoints.get(packet.channel)
         if endpoint is None or endpoint.writer_event is None:
+            return
+        if (
+            packet.xfer is not None
+            and endpoint.unacked is not None
+            and packet.xfer != endpoint.unacked[2]
+        ):
+            # A stale ack (duplicate re-ack for an earlier fragment) must
+            # not acknowledge the fragment currently on the wire.
             return
         event = endpoint.writer_event
         endpoint.writer_event = None
@@ -383,6 +503,11 @@ class ChannelService:
         """Generator (ISR context): close and retry control traffic."""
         kernel = self.kernel
         yield kernel.isr_exec(kernel.costs.chan_ack_recv)
+        if packet.corrupted:
+            self._m_corrupt_drops.inc()
+            kernel.emit("channel", "channel-corrupt-drop", src=packet.src,
+                        size=packet.size, kind="ctrl")
+            return
         endpoint = self.endpoints.get(packet.channel)
         if endpoint is None:
             return
@@ -399,13 +524,25 @@ class ChannelService:
             if endpoint.writer_event is not None:
                 event = endpoint.writer_event
                 endpoint.writer_event = None
-                event.fail(ChannelClosedError(
-                    f"channel {endpoint.name!r} closed by peer"
-                ))
+                if (
+                    endpoint.unacked is not None
+                    and packet.xfer is not None
+                    and endpoint.unacked[2] <= packet.xfer
+                ):
+                    # The peer read our fragment (its close acknowledges
+                    # up to packet.xfer) but the ack itself was lost:
+                    # the write succeeded, then the channel closed.
+                    endpoint.unacked = None
+                    event.succeed()
+                else:
+                    event.fail(ChannelClosedError(
+                        f"channel {endpoint.name!r} closed by peer"
+                    ))
         elif packet.payload == CTRL_RETRY:
-            # Receiver freed a side buffer: retransmit the unacked fragment.
+            # The receiver dropped our fragment (buffer starvation or
+            # corruption) and wants it again: retransmit the unacked one.
             if endpoint.unacked is not None:
-                size, payload = endpoint.unacked
+                size, payload, xfer = endpoint.unacked
                 self._m_retransmits.inc()
                 kernel.emit("channel", "channel-retransmit",
                             data=endpoint.name, eid=endpoint.eid, size=size)
@@ -419,6 +556,7 @@ class ChannelService:
                     channel=endpoint.peer_eid,
                     src_channel=endpoint.eid,
                     payload=payload,
+                    xfer=xfer,
                 )
 
     # ------------------------------------------------------------------

@@ -30,6 +30,72 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.vorx.kernel import NodeKernel
 
 
+class ChannelHandle:
+    """A context-managed channel: closes itself when the ``with`` exits.
+
+    Returned by :meth:`Env.channel`.  User programs stop hand-pairing
+    ``open``/``close``:
+
+    .. code-block:: python
+
+        def producer(env):
+            with (yield from env.channel("results")) as ch:
+                yield from env.write(ch, 1024, payload="hello")
+        # leaving the block -- normally or via an exception -- closes
+        # the channel and notifies the peer
+
+    The close runs as a background kernel process (a ``with`` block
+    cannot ``yield from`` inside ``__exit__``), charging the same kernel
+    time as an explicit :meth:`Env.close`.  Everywhere an
+    :class:`~repro.vorx.channels.ChannelEndpoint` is accepted
+    (``env.read``/``env.write``/``env.read_any``/``env.close``), a handle
+    works too.
+    """
+
+    def __init__(self, env: "Env", endpoint: ChannelEndpoint) -> None:
+        self._env = env
+        #: The underlying endpoint (what the kernel services operate on).
+        self.endpoint = endpoint
+
+    # -- convenience passthroughs ------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.endpoint.name
+
+    @property
+    def eid(self) -> int:
+        return self.endpoint.eid
+
+    @property
+    def closed(self) -> bool:
+        return self.endpoint.closed
+
+    # -- context manager ---------------------------------------------------
+    def __enter__(self) -> "ChannelHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close_soon()
+        return False
+
+    def close_soon(self) -> None:
+        """Schedule the close (idempotent; safe after an explicit close)."""
+        if self.endpoint.closed:
+            return
+        kernel = self._env.kernel
+        kernel.sim.process(
+            kernel.channels.close(self._env.subprocess, self.endpoint)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ChannelHandle {self.endpoint!r}>"
+
+
+def _endpoint_of(channel) -> ChannelEndpoint:
+    """Accept either a raw endpoint or a :class:`ChannelHandle`."""
+    return getattr(channel, "endpoint", channel)
+
+
 class Env:
     """One subprocess's view of the kernel."""
 
@@ -83,23 +149,43 @@ class Env:
         endpoint = yield from self._kernel.channels.open(self._sp, name)
         return endpoint
 
-    def write(self, channel: ChannelEndpoint, nbytes: int, payload: Any = None):
+    def channel(self, name: str):
+        """Generator: open ``name`` and return a context-managed handle.
+
+        The handle auto-closes on scope exit (including exceptional
+        exit), so programs no longer hand-pair ``open``/``close``::
+
+            with (yield from env.channel("data")) as ch:
+                yield from env.write(ch, 1024)
+        """
+        endpoint = yield from self.open(name)
+        return ChannelHandle(self, endpoint)
+
+    def write(self, channel, nbytes: int, payload: Any = None):
         """Generator: stop-and-wait write (blocks until acknowledged)."""
-        yield from self._kernel.channels.write(self._sp, channel, nbytes, payload)
+        yield from self._kernel.channels.write(
+            self._sp, _endpoint_of(channel), nbytes, payload
+        )
 
-    def read(self, channel: ChannelEndpoint):
+    def read(self, channel):
         """Generator: read the next message; returns ``(nbytes, payload)``."""
-        result = yield from self._kernel.channels.read(self._sp, channel)
+        result = yield from self._kernel.channels.read(
+            self._sp, _endpoint_of(channel)
+        )
         return result
 
-    def read_any(self, channels: list[ChannelEndpoint]):
+    def read_any(self, channels: list):
         """Generator: multiplexed read; returns ``(channel, nbytes, payload)``."""
-        result = yield from self._kernel.channels.read_any(self._sp, channels)
+        result = yield from self._kernel.channels.read_any(
+            self._sp, [_endpoint_of(channel) for channel in channels]
+        )
         return result
 
-    def close(self, channel: ChannelEndpoint):
+    def close(self, channel):
         """Generator: close our end and notify the peer."""
-        yield from self._kernel.channels.close(self._sp, channel)
+        yield from self._kernel.channels.close(
+            self._sp, _endpoint_of(channel)
+        )
 
     # -- subprocesses and semaphores ----------------------------------------------
     def spawn(

@@ -144,6 +144,7 @@ class NodeKernel:
         channel: int = 0,
         payload: Any = None,
         src_channel: int = 0,
+        xfer: Optional[int] = None,
     ) -> "Event":
         """Hand a message to the interface (non-blocking, fire-and-forget).
 
@@ -154,6 +155,7 @@ class NodeKernel:
         packet = Packet(
             src=self.address, dst=dst, size=size, kind=kind,
             channel=channel, src_channel=src_channel, payload=payload,
+            xfer=xfer,
         )
         self._m_packets_posted.inc()
         self._m_bytes_posted.inc(size)

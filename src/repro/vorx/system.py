@@ -13,12 +13,12 @@ nodes.  It is the main entry point of the library:
     system = VorxSystem(n_nodes=2)
 
     def sender(env):
-        ch = yield from env.open("data")
-        yield from env.write(ch, 1024)
+        with (yield from env.channel("data")) as ch:
+            yield from env.write(ch, 1024)
 
     def receiver(env):
-        ch = yield from env.open("data")
-        size, _ = yield from env.read(ch)
+        with (yield from env.channel("data")) as ch:
+            size, _ = yield from env.read(ch)
         return size
 
     system.spawn(0, sender)
@@ -29,6 +29,7 @@ nodes.  It is the main entry point of the library:
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Generator, Iterable, Optional
 
 from repro.hpc.topology import build_lam_system, build_single_cluster
@@ -37,19 +38,24 @@ from repro.sim.engine import Simulator
 from repro.vorx.kernel import NodeKernel
 from repro.vorx.subprocesses import Subprocess
 
+#: Legacy positional parameter order, kept only for the deprecation shim.
+_LEGACY_POSITIONAL = ("n_nodes", "n_workstations", "costs", "sim", "manager")
+
 
 class VorxSystem:
     """A complete simulated HPC/VORX installation."""
 
     def __init__(
         self,
+        *args,
         n_nodes: int = 2,
         n_workstations: int = 0,
         costs: CostModel = DEFAULT_COSTS,
         sim: Optional[Simulator] = None,
         manager: str = "distributed",
+        faults=None,
     ) -> None:
-        """Build the machine.
+        """Build the machine.  Arguments are keyword-only.
 
         Parameters
         ----------
@@ -62,11 +68,79 @@ class VorxSystem:
             node, names spread by distributed hashing) or
             ``"centralized"`` (Meglos-style: one manager handles every
             open -- the Section 3.2 bottleneck, for experiment E9).
+        faults:
+            Optional :class:`repro.faults.FaultPlan` attached once the
+            machine is built (equivalent to ``plan.attach(system)``).
+
+        Positional arguments are deprecated; they still work through a
+        shim that maps them onto the historical order
+        ``(n_nodes, n_workstations, costs, sim, manager)`` and emits a
+        :class:`DeprecationWarning`.
         """
+        if args:
+            warnings.warn(
+                "positional VorxSystem(...) arguments are deprecated; "
+                "pass keyword arguments instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(args) > len(_LEGACY_POSITIONAL):
+                raise TypeError(
+                    f"VorxSystem() takes at most {len(_LEGACY_POSITIONAL)} "
+                    f"positional arguments ({len(args)} given)"
+                )
+            given = {
+                "n_nodes": n_nodes, "n_workstations": n_workstations,
+                "costs": costs, "sim": sim, "manager": manager,
+            }
+            defaults = VorxSystem.__init__.__kwdefaults__
+            for name, value in zip(_LEGACY_POSITIONAL, args):
+                if given[name] is not defaults[name]:
+                    raise TypeError(
+                        f"VorxSystem() got multiple values for argument "
+                        f"{name!r}"
+                    )
+                given[name] = value
+            n_nodes = given["n_nodes"]
+            n_workstations = given["n_workstations"]
+            costs = given["costs"]
+            sim = given["sim"]
+            manager = given["manager"]
+        if not isinstance(n_nodes, int) or isinstance(n_nodes, bool):
+            raise TypeError(
+                f"VorxSystem(n_nodes=...) must be an int, got {n_nodes!r}"
+            )
         if n_nodes < 1:
-            raise ValueError(f"need at least one node, got {n_nodes}")
+            raise ValueError(
+                f"VorxSystem(n_nodes=...) needs at least one node, "
+                f"got {n_nodes}"
+            )
+        if not isinstance(n_workstations, int) or isinstance(
+            n_workstations, bool
+        ):
+            raise TypeError(
+                f"VorxSystem(n_workstations=...) must be an int, "
+                f"got {n_workstations!r}"
+            )
+        if n_workstations < 0:
+            raise ValueError(
+                f"VorxSystem(n_workstations=...) cannot be negative, "
+                f"got {n_workstations}"
+            )
+        if not isinstance(costs, CostModel):
+            raise TypeError(
+                f"VorxSystem(costs=...) must be a CostModel, got {costs!r}"
+            )
+        if sim is not None and not isinstance(sim, Simulator):
+            raise TypeError(
+                f"VorxSystem(sim=...) must be a Simulator or None, "
+                f"got {sim!r}"
+            )
         if manager not in ("distributed", "centralized"):
-            raise ValueError(f"unknown manager organisation {manager!r}")
+            raise ValueError(
+                f"VorxSystem(manager=...) must be 'distributed' or "
+                f"'centralized', got {manager!r}"
+            )
         self.sim = sim or Simulator()
         self.costs = costs
         total = n_nodes + n_workstations
@@ -105,6 +179,18 @@ class VorxSystem:
         for kernel in self.nodes + self.workstations:
             kernel.manager.manager_addresses = manager_addrs
         self.manager_organisation = manager
+        if faults is not None:
+            if not hasattr(faults, "attach"):
+                raise TypeError(
+                    f"VorxSystem(faults=...) must be a FaultPlan or None, "
+                    f"got {faults!r}"
+                )
+            faults.attach(self)
+
+    @property
+    def faults(self):
+        """The attached fault injector, or ``None``."""
+        return self.sim.faults
 
     # ------------------------------------------------------------------
     # access

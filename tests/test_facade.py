@@ -1,0 +1,146 @@
+"""Tests for the public API facade: exports, channel handles, shims."""
+
+import pytest
+
+import repro
+from repro import ChannelHandle, FaultPlan, MeglosSystem, VorxSystem
+
+
+def test_facade_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_snet_system_is_meglos_alias():
+    assert repro.SnetSystem is repro.MeglosSystem
+
+
+# ----------------------------------------------------------------------
+# env.channel context-manager handles
+# ----------------------------------------------------------------------
+def test_channel_handle_auto_closes_on_scope_exit():
+    system = VorxSystem(n_nodes=2)
+    handles = {}
+
+    def producer(env):
+        with (yield from env.channel("data")) as ch:
+            handles["tx"] = ch
+            assert isinstance(ch, ChannelHandle)
+            assert ch.name == "data"
+            yield from env.write(ch, 64, payload="x")
+        # __exit__ schedules the close; it completes once the kernel
+        # process runs, i.e. before the simulation quiesces.
+
+    def consumer(env):
+        with (yield from env.channel("data")) as ch:
+            handles["rx"] = ch
+            size, payload = yield from env.read(ch)
+            assert (size, payload) == (64, "x")
+
+    system.spawn(0, producer)
+    system.spawn(1, consumer)
+    system.run()
+    assert handles["tx"].closed
+    assert handles["rx"].closed
+
+
+def test_channel_handle_closes_on_exception():
+    system = VorxSystem(n_nodes=2)
+    handles = {}
+
+    def crasher(env):
+        try:
+            with (yield from env.channel("data")) as ch:
+                handles["tx"] = ch
+                raise RuntimeError("application bug")
+        except RuntimeError:
+            pass
+        yield from env.sleep(1.0)
+
+    def peer(env):
+        ch = yield from env.open("data")
+        handles["rx"] = ch
+
+    system.spawn(0, crasher)
+    system.spawn(1, peer)
+    system.run()
+    assert handles["tx"].closed
+
+
+def test_channel_handle_tolerates_explicit_close():
+    system = VorxSystem(n_nodes=2)
+
+    def one(env):
+        with (yield from env.channel("data")) as ch:
+            yield from env.write(ch, 8)
+            yield from env.close(ch)  # explicit close inside the block
+
+    def two(env):
+        with (yield from env.channel("data")) as ch:
+            yield from env.read(ch)
+
+    system.spawn(0, one)
+    system.spawn(1, two)
+    system.run()  # must quiesce without double-close errors
+
+
+# ----------------------------------------------------------------------
+# deprecation shims
+# ----------------------------------------------------------------------
+def test_positional_vorx_system_warns_but_works():
+    with pytest.warns(DeprecationWarning):
+        system = VorxSystem(3)
+    assert len(system.nodes) == 3
+
+
+def test_positional_and_keyword_conflict_raises():
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(TypeError, match="n_nodes"):
+            VorxSystem(3, n_nodes=4)
+
+
+# ----------------------------------------------------------------------
+# keyword-only validation naming the bad argument
+# ----------------------------------------------------------------------
+def test_vorx_system_validation_names_arguments():
+    with pytest.raises(ValueError, match="n_nodes"):
+        VorxSystem(n_nodes=0)
+    with pytest.raises(TypeError, match="n_nodes"):
+        VorxSystem(n_nodes="two")
+    with pytest.raises(ValueError, match="n_workstations"):
+        VorxSystem(n_nodes=2, n_workstations=-1)
+    with pytest.raises(TypeError, match="costs"):
+        VorxSystem(n_nodes=2, costs={"context_switch": 80.0})
+    with pytest.raises(TypeError, match="sim"):
+        VorxSystem(n_nodes=2, sim="simulator")
+    with pytest.raises(ValueError, match="manager"):
+        VorxSystem(n_nodes=2, manager="quantum")
+    with pytest.raises(TypeError, match="faults"):
+        VorxSystem(n_nodes=2, faults="drop everything")
+
+
+def test_fault_plan_is_keyword_only():
+    with pytest.raises(TypeError):
+        FaultPlan(0.5)  # probabilities must be named
+
+
+def test_fault_plan_validation_names_arguments():
+    with pytest.raises(ValueError, match="drop"):
+        FaultPlan(drop=1.5)
+    with pytest.raises(TypeError, match="corrupt"):
+        FaultPlan(corrupt="often")
+    with pytest.raises(ValueError, match="delay_us"):
+        FaultPlan(delay_us=(100.0, 50.0))
+    with pytest.raises(TypeError, match="seed"):
+        FaultPlan(seed="lucky")
+    with pytest.raises(ValueError, match="node_crashes"):
+        FaultPlan(node_crashes={0: -1.0})
+    with pytest.raises(ValueError, match="nic_stalls"):
+        FaultPlan(nic_stalls=[("nic0", -5.0, 10.0)])
+    with pytest.raises(ValueError, match="links"):
+        FaultPlan(links={"nic0*": {"dorp": 0.5}})
+
+
+def test_meglos_recovery_policy_validated():
+    with pytest.raises(ValueError, match="recovery"):
+        MeglosSystem(3, recovery="pray")
