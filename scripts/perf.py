@@ -1,0 +1,379 @@
+#!/usr/bin/env python
+"""Wall-clock performance harness for the simulator core.
+
+The paper's core claim is that *software overhead* bounds communication
+performance; one level up, the DES engine's Python overhead bounds how
+far this reproduction can push paper-scale experiments.  This harness
+measures that overhead directly: it runs four representative workloads
+to completion and reports, for each, engine events per wall-clock second
+and microseconds of simulated time per second of wall time.
+
+Workloads
+---------
+
+``pingpong_4b``
+    Two nodes exchange 4-byte messages over one channel, full round
+    trips (Table 2's latency anchor, engine hot path dominated by
+    zero-delay event triggering).
+``stream_1024b_k8``
+    The Table 1 sliding-window protocol, k=8 buffers, 1024-byte
+    messages (user-defined communication objects, semaphores, ISRs).
+``paper_scale_70x10``
+    Boot the paper's full machine -- 70 processing nodes + 10 host
+    workstations (Section 1) -- and run all-pairs-style neighbour
+    traffic: every node streams messages to each of its ``fanout``
+    successors.
+``faultstorm``
+    Channel pairs exchanging messages under a seeded drop/corrupt/
+    duplicate fault plan: timeout retransmission, watchdogs and
+    duplicate suppression all on (the E19 storm).
+
+Results land in ``BENCH_simcore.json`` at the repo root so future PRs
+have a wall-clock trajectory.  Record the pre-change baseline with
+``--baseline``; plain runs fill the ``current`` slot and compute the
+speedup against the stored baseline.
+
+Usage::
+
+    python scripts/perf.py                  # full run -> BENCH_simcore.json
+    python scripts/perf.py --baseline       # record the baseline slot
+    python scripts/perf.py --smoke --output /tmp/b.json --check-floor
+    python scripts/perf.py --validate BENCH_simcore.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro import FaultPlan, VorxSystem
+from repro.vorx.sliding_window import run_sliding_window
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_simcore.json"
+SCHEMA = "simcore-bench/v1"
+
+#: CI floor (events/sec, smoke mode): the job fails when a workload runs
+#: more than 5x slower than this.  Set well below the slowest machine's
+#: smoke numbers so only a genuine engine regression trips it.
+SMOKE_FLOOR_EVENTS_PER_SEC = 50_000.0
+FLOOR_HEADROOM = 5.0
+
+
+def _disable_tracing(sim) -> None:
+    """Turn the structured trace stream off when the engine supports it.
+
+    Guarded with ``getattr`` so the harness also runs against engine
+    revisions that predate the tracing gate (baseline measurements).
+    """
+    disable = getattr(sim.vstat.events, "disable", None)
+    if disable is not None:
+        disable()
+
+
+def _result(sim, wall_s: float) -> dict:
+    events = int(getattr(sim, "processed", 0))
+    return {
+        "events": events,
+        "wall_s": round(wall_s, 6),
+        "sim_us": round(sim.now, 3),
+        "events_per_sec": round(events / wall_s, 1) if wall_s > 0 else 0.0,
+        "sim_us_per_wall_s": (
+            round(sim.now / wall_s, 1) if wall_s > 0 else 0.0
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# workloads
+# ---------------------------------------------------------------------------
+def wl_pingpong(params: dict) -> dict:
+    n = params["messages"]
+    t0 = time.perf_counter()
+    system = VorxSystem(n_nodes=2)
+    _disable_tracing(system.sim)
+
+    def client(env):
+        with (yield from env.channel("pp")) as ch:
+            for i in range(n):
+                yield from env.write(ch, 4, payload=i)
+                yield from env.read(ch)
+
+    def server(env):
+        with (yield from env.channel("pp")) as ch:
+            for _ in range(n):
+                _, payload = yield from env.read(ch)
+                yield from env.write(ch, 4, payload=payload)
+
+    system.spawn(0, client)
+    system.spawn(1, server)
+    system.run()
+    return _result(system.sim, time.perf_counter() - t0)
+
+
+def wl_stream(params: dict) -> dict:
+    t0 = time.perf_counter()
+    result = run_sliding_window(
+        n_buffers=8, message_bytes=1024, n_messages=params["messages"]
+    )
+    wall = time.perf_counter() - t0
+    if result.sim is None:  # pragma: no cover - old StreamResult shape
+        raise RuntimeError("run_sliding_window() did not return its sim")
+    return _result(result.sim, wall)
+
+
+def wl_paper_scale(params: dict) -> dict:
+    n_nodes, fanout = 70, params["fanout"]
+    messages, nbytes = params["messages"], 64
+    t0 = time.perf_counter()
+    system = VorxSystem(n_nodes=n_nodes, n_workstations=10)
+    _disable_tracing(system.sim)
+
+    def sender(env, name):
+        with (yield from env.channel(name)) as ch:
+            for i in range(messages):
+                yield from env.write(ch, nbytes, payload=i)
+
+    def receiver(env, name):
+        with (yield from env.channel(name)) as ch:
+            for _ in range(messages):
+                yield from env.read(ch)
+
+    for i in range(n_nodes):
+        for j in range(1, fanout + 1):
+            dst = (i + j) % n_nodes
+            name = f"t{i}-{dst}"
+            system.spawn(i, lambda env, name=name: sender(env, name))
+            system.spawn(dst, lambda env, name=name: receiver(env, name))
+    system.run()
+    return _result(system.sim, time.perf_counter() - t0)
+
+
+def wl_faultstorm(params: dict) -> dict:
+    pairs, messages, nbytes = params["pairs"], params["messages"], 256
+    t0 = time.perf_counter()
+    plan = FaultPlan(
+        seed=11, drop=0.05, corrupt=0.05, duplicate=0.05,
+        channel_retry_timeout_us=2_000.0,
+    )
+    system = VorxSystem(n_nodes=2 * pairs, faults=plan)
+    _disable_tracing(system.sim)
+
+    def sender(env, pair):
+        with (yield from env.channel(f"storm{pair}")) as ch:
+            for i in range(messages):
+                yield from env.write(ch, nbytes, payload=i)
+
+    def receiver(env, pair):
+        with (yield from env.channel(f"storm{pair}")) as ch:
+            for _ in range(messages):
+                yield from env.read(ch)
+
+    for p in range(pairs):
+        system.spawn(2 * p, lambda env, p=p: sender(env, p))
+        system.spawn(2 * p + 1, lambda env, p=p: receiver(env, p))
+    system.run()
+    return _result(system.sim, time.perf_counter() - t0)
+
+
+WORKLOADS = {
+    "pingpong_4b": {
+        "fn": wl_pingpong,
+        "description": "4-byte channel ping-pong, 2 nodes, full round trips",
+        "full": {"messages": 2000},
+        "smoke": {"messages": 40},
+    },
+    "stream_1024b_k8": {
+        "fn": wl_stream,
+        "description": "Table 1 sliding-window stream, k=8, 1024-byte messages",
+        "full": {"messages": 2000},
+        "smoke": {"messages": 40},
+    },
+    "paper_scale_70x10": {
+        "fn": wl_paper_scale,
+        "description": "70 nodes + 10 hosts boot, all-pairs neighbour traffic",
+        "full": {"messages": 6, "fanout": 3},
+        "smoke": {"messages": 1, "fanout": 1},
+    },
+    "faultstorm": {
+        "fn": wl_faultstorm,
+        "description": "channel pairs under seeded drop/corrupt/duplicate storm",
+        "full": {"pairs": 4, "messages": 60},
+        "smoke": {"pairs": 2, "messages": 4},
+    },
+}
+
+
+# ---------------------------------------------------------------------------
+# schema
+# ---------------------------------------------------------------------------
+_MEASUREMENT_KEYS = {
+    "events": (int,),
+    "wall_s": (int, float),
+    "sim_us": (int, float),
+    "events_per_sec": (int, float),
+    "sim_us_per_wall_s": (int, float),
+}
+
+
+def validate(doc: dict) -> list[str]:
+    """Schema check; returns a list of problems (empty == valid)."""
+    problems: list[str] = []
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema must be {SCHEMA!r}, got {doc.get('schema')!r}")
+    workloads = doc.get("workloads")
+    if not isinstance(workloads, dict) or not workloads:
+        return problems + ["workloads must be a non-empty object"]
+    for name, entry in workloads.items():
+        if not isinstance(entry, dict):
+            problems.append(f"{name}: entry must be an object")
+            continue
+        if not isinstance(entry.get("description"), str):
+            problems.append(f"{name}: missing description")
+        slots = [s for s in ("baseline", "current") if entry.get(s)]
+        if not slots:
+            problems.append(f"{name}: needs a baseline or current measurement")
+        for slot in slots:
+            measurement = entry[slot]
+            for key, types in _MEASUREMENT_KEYS.items():
+                value = measurement.get(key)
+                if not isinstance(value, types) or isinstance(value, bool):
+                    problems.append(f"{name}.{slot}.{key}: bad value {value!r}")
+                elif key in ("events", "events_per_sec") and value <= 0:
+                    problems.append(f"{name}.{slot}.{key}: must be positive")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+def run_workloads(names, mode: str, repeat: int) -> dict[str, dict]:
+    measured: dict[str, dict] = {}
+    for name in names:
+        spec = WORKLOADS[name]
+        params = spec[mode]
+        best = None
+        for _ in range(repeat):
+            result = spec["fn"](dict(params))
+            if best is None or result["wall_s"] < best["wall_s"]:
+                best = result
+        measured[name] = best
+        print(
+            f"{name:20s} {best['events']:>9d} events  "
+            f"{best['wall_s']:>8.3f} s  "
+            f"{best['events_per_sec']:>12,.0f} ev/s  "
+            f"{best['sim_us_per_wall_s']:>14,.0f} sim-us/s",
+            file=sys.stderr,
+        )
+    return measured
+
+
+def merge(existing: dict, measured: dict, mode: str, slot: str) -> dict:
+    doc = existing if existing.get("schema") == SCHEMA else {}
+    workloads = doc.get("workloads", {})
+    for name, measurement in measured.items():
+        entry = workloads.get(name, {})
+        entry["description"] = WORKLOADS[name]["description"]
+        entry["params"] = WORKLOADS[name][mode]
+        entry[slot] = measurement
+        baseline = entry.get("baseline")
+        current = entry.get("current")
+        if baseline and current:
+            entry["speedup_events_per_sec"] = round(
+                current["events_per_sec"] / baseline["events_per_sec"], 2
+            )
+        workloads[name] = entry
+    return {
+        "schema": SCHEMA,
+        "mode": mode,
+        "python": platform.python_version(),
+        "workloads": workloads,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny iteration counts (CI)")
+    parser.add_argument("--baseline", action="store_true",
+                        help="record into the baseline slot")
+    parser.add_argument("--output", type=Path, default=None,
+                        help=f"output JSON (default {DEFAULT_OUTPUT.name}; "
+                             "required in --smoke mode to avoid clobbering "
+                             "committed full-run numbers)")
+    parser.add_argument("--workloads", default=None,
+                        help="comma-separated subset of: "
+                             + ",".join(WORKLOADS))
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="run each workload N times, keep the fastest")
+    parser.add_argument("--check-floor", action="store_true",
+                        help="exit non-zero if any workload is more than "
+                             f"{FLOOR_HEADROOM:.0f}x below the events/sec floor")
+    parser.add_argument("--validate", type=Path, metavar="PATH",
+                        help="validate an existing results file and exit")
+    args = parser.parse_args(argv)
+
+    if args.validate is not None:
+        doc = json.loads(args.validate.read_text())
+        problems = validate(doc)
+        for problem in problems:
+            print(f"schema: {problem}", file=sys.stderr)
+        print(f"{args.validate}: "
+              + ("INVALID" if problems else "ok"), file=sys.stderr)
+        return 1 if problems else 0
+
+    mode = "smoke" if args.smoke else "full"
+    output = args.output
+    if output is None:
+        if args.smoke:
+            print("--smoke requires --output (committed BENCH_simcore.json "
+                  "holds full-run numbers)", file=sys.stderr)
+            return 2
+        output = DEFAULT_OUTPUT
+
+    names = list(WORKLOADS)
+    if args.workloads:
+        names = [n.strip() for n in args.workloads.split(",") if n.strip()]
+        unknown = [n for n in names if n not in WORKLOADS]
+        if unknown:
+            print(f"unknown workloads: {unknown}", file=sys.stderr)
+            return 2
+
+    measured = run_workloads(names, mode, max(1, args.repeat))
+
+    existing = {}
+    if output.exists():
+        try:
+            existing = json.loads(output.read_text())
+        except ValueError:
+            existing = {}
+    doc = merge(existing, measured, mode,
+                "baseline" if args.baseline else "current")
+    problems = validate(doc)
+    if problems:
+        for problem in problems:
+            print(f"schema: {problem}", file=sys.stderr)
+        return 1
+    output.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}", file=sys.stderr)
+
+    if args.check_floor:
+        floor = SMOKE_FLOOR_EVENTS_PER_SEC / FLOOR_HEADROOM
+        slow = {
+            name: m["events_per_sec"]
+            for name, m in measured.items()
+            if m["events_per_sec"] < floor
+        }
+        if slow:
+            print(f"FLOOR FAIL (< {floor:,.0f} ev/s): {slow}", file=sys.stderr)
+            return 1
+        print(f"floor ok (all >= {floor:,.0f} ev/s)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,6 +50,9 @@ class Simulator:
         self._seq: int = 0
         #: heap of (time, priority, seq, item); item is Event or Handle
         self._queue: list[tuple[float, int, int, Any]] = []
+        #: Occurrences processed so far (read by ``scripts/perf.py`` to
+        #: report events/sec).
+        self.processed: int = 0
         #: Unified instrumentation hub: every component sharing this
         #: simulator registers its metrics and trace events here.
         self.vstat = Vstat()
@@ -114,9 +117,11 @@ class Simulator:
                 if item.cancelled:
                     continue
                 self._now = time
+                self.processed += 1
                 item.fn(*item.args)
                 return
             self._now = time
+            self.processed += 1
             item._process()
             return
 

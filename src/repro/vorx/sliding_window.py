@@ -39,6 +39,9 @@ class StreamResult:
     elapsed_us: float
     #: The run's metrics/trace hub (``Vstat``), for post-hoc inspection.
     vstat: Optional[object] = None
+    #: The run's simulator, for engine-level statistics (``scripts/perf.py``
+    #: reads ``sim.processed`` to report events/sec).
+    sim: Optional[object] = None
 
     @property
     def us_per_message(self) -> float:
@@ -183,6 +186,7 @@ def run_sliding_window(
         n_buffers=n_buffers,
         elapsed_us=done["send_elapsed"],
         vstat=system.sim.vstat,
+        sim=system.sim,
     )
 
 
@@ -219,4 +223,5 @@ def run_channel_stream(
         n_buffers=None,
         elapsed_us=done["send_elapsed"],
         vstat=system.sim.vstat,
+        sim=system.sim,
     )
