@@ -64,15 +64,26 @@ SMOKE_FLOOR_EVENTS_PER_SEC = 50_000.0
 FLOOR_HEADROOM = 5.0
 
 
-def _disable_tracing(sim) -> None:
-    """Turn the structured trace stream off when the engine supports it.
+def _disable_tracing(sim, system=None) -> None:
+    """Quiesce optional instrumentation: trace stream + CPU timelines.
 
-    Guarded with ``getattr`` so the harness also runs against engine
-    revisions that predate the tracing gate (baseline measurements).
+    Counters, gauges and histograms stay on (they are part of the
+    simulation's observable results); the structured trace stream and the
+    oscilloscope timelines are recording-only and the benchmark measures
+    the engine with them off.  Guarded with ``getattr`` so the harness
+    also runs against engine revisions that predate the tracing gate
+    (baseline measurements).
     """
     disable = getattr(sim.vstat.events, "disable", None)
     if disable is not None:
         disable()
+    if system is not None:
+        for kernel in getattr(system, "nodes", []) + getattr(
+            system, "workstations", []
+        ):
+            timeline = getattr(kernel.cpu, "timeline", None)
+            if timeline is not None and hasattr(timeline, "enabled"):
+                timeline.enabled = False
 
 
 def _result(sim, wall_s: float) -> dict:
@@ -95,7 +106,7 @@ def wl_pingpong(params: dict) -> dict:
     n = params["messages"]
     t0 = time.perf_counter()
     system = VorxSystem(n_nodes=2)
-    _disable_tracing(system.sim)
+    _disable_tracing(system.sim, system)
 
     def client(env):
         with (yield from env.channel("pp")) as ch:
@@ -131,7 +142,7 @@ def wl_paper_scale(params: dict) -> dict:
     messages, nbytes = params["messages"], 64
     t0 = time.perf_counter()
     system = VorxSystem(n_nodes=n_nodes, n_workstations=10)
-    _disable_tracing(system.sim)
+    _disable_tracing(system.sim, system)
 
     def sender(env, name):
         with (yield from env.channel(name)) as ch:
@@ -161,7 +172,7 @@ def wl_faultstorm(params: dict) -> dict:
         channel_retry_timeout_us=2_000.0,
     )
     system = VorxSystem(n_nodes=2 * pairs, faults=plan)
-    _disable_tracing(system.sim)
+    _disable_tracing(system.sim, system)
 
     def sender(env, pair):
         with (yield from env.channel(f"storm{pair}")) as ch:

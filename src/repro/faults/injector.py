@@ -96,10 +96,12 @@ class FaultInjector:
         self._injections += 1
         self._m_injected.inc()
         self.metrics.counter("faults.injected_by_kind", labels=(fault,)).inc()
-        self.sim.vstat.emit(
-            self.sim.now, node=site, subsystem="faults",
-            name=f"fault-{fault}", **fields,
-        )
+        stream = self.sim.vstat.events
+        if stream.enabled:
+            stream.emit(
+                self.sim.now, node=site, subsystem="faults",
+                name=f"fault-{fault}", **fields,
+            )
 
     @property
     def injections(self) -> int:
@@ -130,10 +132,12 @@ class FaultInjector:
         if iface is not None:
             iface.interrupts_enabled = False
         self.metrics.counter("faults.node_crashes").inc()
-        self.sim.vstat.emit(
-            self.sim.now, node=name, subsystem="faults", name="node-crash",
-            address=address,
-        )
+        stream = self.sim.vstat.events
+        if stream.enabled:
+            stream.emit(
+                self.sim.now, node=name, subsystem="faults",
+                name="node-crash", address=address,
+            )
 
     def crash_drop(self, site: str, packet: "Packet") -> bool:
         """True if ``packet`` involves a crashed node (drop silently).
@@ -144,11 +148,13 @@ class FaultInjector:
         """
         if self.is_crashed(packet.src) or self.is_crashed(packet.dst):
             self.metrics.counter("faults.crash_drops").inc()
-            self.sim.vstat.emit(
-                self.sim.now, node=site, subsystem="faults",
-                name="fault-crash-drop", src=packet.src, dst=packet.dst,
-                size=packet.size,
-            )
+            stream = self.sim.vstat.events
+            if stream.enabled:
+                stream.emit(
+                    self.sim.now, node=site, subsystem="faults",
+                    name="fault-crash-drop", src=packet.src, dst=packet.dst,
+                    size=packet.size,
+                )
             return True
         return False
 
@@ -168,10 +174,12 @@ class FaultInjector:
                 remaining = max(remaining, end - now)
         if remaining > 0:
             self.metrics.counter("faults.nic_stalls").inc()
-            self.sim.vstat.emit(
-                self.sim.now, node=site, subsystem="faults", name="nic-stall",
-                stall_us=remaining,
-            )
+            stream = self.sim.vstat.events
+            if stream.enabled:
+                stream.emit(
+                    self.sim.now, node=site, subsystem="faults",
+                    name="nic-stall", stall_us=remaining,
+                )
         return remaining
 
     # ------------------------------------------------------------------

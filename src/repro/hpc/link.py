@@ -78,16 +78,29 @@ class Link:
         return len(self._requests)
 
     def _pump(self):
+        # Everything loop-invariant is bound once: this generator resumes
+        # several times per carried message and the attribute chains showed
+        # up in engine profiles.
+        sim = self.sim
+        requests = self._requests
+        request_items = requests._items  # Store's deque, len() per message
+        queue_depth_set = self._m_queue.set
+        wire_time = self.costs.hpc_wire_time
+        hop_latency = self.costs.hpc_hop_latency
+        downstream = self.downstream
+        busy_inc = self._m_busy.inc
+        messages_inc = self._m_messages.inc
+        bytes_inc = self._m_bytes.inc
         while True:
-            packet, done = yield self._requests.get()
-            self._m_queue.set(len(self._requests))
-            injector = self.sim.faults
+            packet, done = yield requests.get()
+            queue_depth_set(len(request_items))
+            injector = sim.faults
             decision = None
             if injector is not None:
                 stall = injector.stall_remaining(self.name)
                 if stall > 0:
                     # NIC stall window: the wire sits idle until it ends.
-                    yield self.sim.timeout(stall)
+                    yield sim.timeout(stall)
                 if injector.crash_drop(self.name, packet):
                     done.succeed()
                     continue
@@ -96,33 +109,31 @@ class Link:
                     # Lost on the wire: serialization happened, but the
                     # downstream end discarded the damaged message
                     # immediately, so no buffer is held.
-                    wire = (self.costs.hpc_wire_time(packet.size)
-                            + self.costs.hpc_hop_latency)
-                    yield self.sim.timeout(wire)
-                    self._m_busy.inc(wire)
+                    wire = wire_time(packet.size) + hop_latency
+                    yield sim.timeout(wire)
+                    busy_inc(wire)
                     done.succeed()
                     continue
                 if decision.corrupt:
                     packet.corrupted = True
                 if decision.delay_us > 0:
-                    yield self.sim.timeout(decision.delay_us)
+                    yield sim.timeout(decision.delay_us)
             copies = 2 if decision is not None and decision.duplicate else 1
             for copy in range(copies):
                 # Hardware flow control: wait for a whole-message buffer
                 # downstream before occupying the wire.
-                stall_from = self.sim.now
-                yield self.downstream.reserve()
-                stalled = self.sim.now - stall_from
+                stall_from = sim._now
+                yield downstream.reserve()
+                stalled = sim._now - stall_from
                 if stalled > 0:
                     self.metrics.counter("link.reserve_stalls").inc()
                     self.metrics.counter("link.reserve_stall_us").inc(stalled)
-                wire = (self.costs.hpc_wire_time(packet.size)
-                        + self.costs.hpc_hop_latency)
-                yield self.sim.timeout(wire)
-                self._m_busy.inc(wire)
-                self._m_messages.inc()
-                self._m_bytes.inc(packet.size)
+                wire = wire_time(packet.size) + hop_latency
+                yield sim.timeout(wire)
+                busy_inc(wire)
+                messages_inc()
+                bytes_inc(packet.size)
                 packet.hops += 1
-                self.downstream.deliver(packet)
+                downstream.deliver(packet)
                 if copy == 0:
                     done.succeed()

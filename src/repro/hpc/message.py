@@ -49,7 +49,7 @@ class MessageKind(str, Enum):
 _packet_seq = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One hardware message.
 

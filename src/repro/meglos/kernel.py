@@ -246,11 +246,13 @@ class MeglosNode:
                 strategy.reset()
                 if attempts > 1:
                     self._m_recovered.inc()
-                    self.sim.vstat.emit(
-                        self.sim.now, node=self.name, subsystem="snet",
-                        name="send-recovered", dst=dst, size=nbytes,
-                        attempts=attempts, policy=strategy.name,
-                    )
+                    stream = self.sim.vstat.events
+                    if stream.enabled:
+                        stream.emit(
+                            self.sim.now, node=self.name, subsystem="snet",
+                            name="send-recovered", dst=dst, size=nbytes,
+                            attempts=attempts, policy=strategy.name,
+                        )
                 return attempts
             self._m_retries.inc()
             self.metrics.counter(

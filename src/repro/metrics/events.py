@@ -17,7 +17,7 @@ simulator can export everything.
 from __future__ import annotations
 
 import json
-from collections import Counter as TallyCounter
+from collections import Counter as TallyCounter, deque
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
@@ -46,11 +46,34 @@ class TraceEvent:
 
 
 class TraceStream:
-    """An append-only stream of :class:`TraceEvent` records."""
+    """An append-only stream of :class:`TraceEvent` records.
 
-    def __init__(self) -> None:
-        self._events: list[TraceEvent] = []
+    Two knobs keep tracing out of the simulator's hot path:
+
+    * :attr:`enabled` -- when ``False``, :meth:`emit` is a no-op that
+      allocates nothing.  Hot call sites check the flag *before* calling
+      (``if stream.enabled: stream.emit(...)``) so a disabled stream
+      costs one attribute load and a branch; counters, gauges and
+      histograms are unaffected and stay always-on.
+    * ring-buffer mode (:meth:`set_capacity`) -- opt-in bound on memory:
+      only the most recent ``capacity`` events are kept (per-name tallies
+      still count everything; :attr:`dropped` says how many records were
+      discarded).
+    """
+
+    __slots__ = ("_events", "_tallies", "enabled", "capacity", "dropped")
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self._events: Any = (
+            [] if capacity is None else deque(maxlen=capacity)
+        )
         self._tallies: TallyCounter[str] = TallyCounter()
+        #: Recording gate; toggle with :meth:`enable`/:meth:`disable`.
+        self.enabled: bool = True
+        #: Ring-buffer size, or ``None`` for unbounded recording.
+        self.capacity: Optional[int] = capacity
+        #: Events discarded by the ring buffer (0 in unbounded mode).
+        self.dropped: int = 0
 
     # -- recording ---------------------------------------------------------
     def emit(
@@ -60,11 +83,41 @@ class TraceStream:
         subsystem: str = "",
         name: str = "",
         **fields: Any,
-    ) -> TraceEvent:
+    ) -> Optional[TraceEvent]:
+        if not self.enabled:
+            return None
+        events = self._events
+        capacity = self.capacity
+        if capacity is not None and len(events) == capacity:
+            self.dropped += 1
         event = TraceEvent(time, node, subsystem, name, fields)
-        self._events.append(event)
+        events.append(event)
         self._tallies[name] += 1
         return event
+
+    def enable(self) -> None:
+        """Turn recording on (the default)."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn recording off: every subsequent ``emit`` is a free no-op."""
+        self.enabled = False
+
+    def set_capacity(self, capacity: Optional[int]) -> None:
+        """Switch between unbounded and ring-buffer (keep last N) mode.
+
+        Existing events are preserved (the newest ``capacity`` of them
+        when shrinking into ring mode).
+        """
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        if capacity is None:
+            self._events = list(self._events)
+        else:
+            if len(self._events) > capacity:
+                self.dropped += len(self._events) - capacity
+            self._events = deque(self._events, maxlen=capacity)
+        self.capacity = capacity
 
     # -- queries -----------------------------------------------------------
     @property
@@ -145,7 +198,7 @@ class Vstat:
         subsystem: str = "",
         name: str = "",
         **fields: Any,
-    ) -> TraceEvent:
+    ) -> Optional[TraceEvent]:
         return self.events.emit(time, node, subsystem, name, **fields)
 
     # -- export ------------------------------------------------------------

@@ -180,6 +180,8 @@ def _render_key(name: str, labels: Labels) -> str:
 class MetricsRegistry:
     """All metrics of one node (or fabric component), keyed by name+labels."""
 
+    __slots__ = ("node", "_metrics")
+
     def __init__(self, node: str = "") -> None:
         self.node = node
         self._metrics: dict[tuple[str, Labels], object] = {}

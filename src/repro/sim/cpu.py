@@ -74,7 +74,13 @@ class Job:
         self.internal = internal
 
     def __lt__(self, other: "Job") -> bool:
-        return (self.priority, self.seq) < (other.priority, other.seq)
+        # Scalar compare (no tuple construction): the ready heap calls
+        # this on every push/pop under CPU contention.
+        priority = self.priority
+        other_priority = other.priority
+        if priority != other_priority:
+            return priority < other_priority
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -147,9 +153,14 @@ class CPU:
             return done
         job = Job(duration, priority, owner, category, preemptible, done, self._seq)
         self._seq += 1
-        heappush(self._ready, job)
-        self._maybe_preempt()
-        return job.done  # type: ignore[return-value]
+        if self._current is None and not self._ready:
+            # Idle CPU, nothing queued: start directly, skipping the
+            # ready-heap round trip (the common serialized case).
+            self._dispatch_job(job)
+        else:
+            heappush(self._ready, job)
+            self._maybe_preempt()
+        return done
 
     @property
     def busy(self) -> bool:
@@ -188,9 +199,11 @@ class CPU:
         assert job is not None and self._end_handle is not None
         self._end_handle.cancel()
         self._end_handle = None
-        now = self.sim.now
+        now = self.sim._now
         elapsed = now - self._started_at
-        self.timeline.record(self._started_at, now, job.category, job.owner)
+        timeline = self.timeline
+        if timeline.enabled:
+            timeline.record(self._started_at, now, job.category, job.owner)
         job.remaining = max(0.0, job.remaining - elapsed)
         # Preserve FIFO order among equals: it keeps its original seq.
         heappush(self._ready, job)
@@ -199,7 +212,10 @@ class CPU:
     def _dispatch(self) -> None:
         if self._current is not None or not self._ready:
             return
-        job = heappop(self._ready)
+        self._dispatch_job(heappop(self._ready))
+
+    def _dispatch_job(self, job: Job) -> None:
+        """Start ``job`` (already removed from / never on the ready heap)."""
         # Charge a context switch if ownership changes between two named
         # (subprocess) owners.
         if (
@@ -224,20 +240,19 @@ class CPU:
                     internal=True,
                 )
                 self._m_switches.inc()
-                self._start(switch)
-                return
-        self._start(job)
-
-    def _start(self, job: Job) -> None:
+                job = switch
+        sim = self.sim
         self._current = job
-        self._started_at = self.sim.now
-        self._end_handle = self.sim.call_later(job.remaining, self._complete)
+        self._started_at = sim._now
+        self._end_handle = sim.call_later(job.remaining, self._complete)
 
     def _complete(self) -> None:
         job = self._current
         assert job is not None
-        now = self.sim.now
-        self.timeline.record(self._started_at, now, job.category, job.owner)
+        now = self.sim._now
+        timeline = self.timeline
+        if timeline.enabled:
+            timeline.record(self._started_at, now, job.category, job.owner)
         self._current = None
         self._end_handle = None
         self._last_owner = job.owner if job.owner is not None else self._last_owner

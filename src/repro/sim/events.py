@@ -54,6 +54,11 @@ class Event:
 
     __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
 
+    #: Events are never cancelled; the class attribute lets the engine
+    #: test ``item.cancelled`` on every queue entry (Event or Handle)
+    #: without an ``isinstance`` branch on the hot path.
+    cancelled = False
+
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         #: Callables invoked with the event once it is processed.  ``None``
@@ -95,7 +100,12 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.sim._schedule_event(self, 0.0, NORMAL)
+        # Zero-delay normal trigger: append straight onto the engine's
+        # immediate lane (the inlined tail of ``Simulator._schedule_event``
+        # -- this is the hottest call in the whole simulation).
+        sim = self.sim
+        sim._imm_normal.append((sim._now, sim._seq, self))
+        sim._seq += 1
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -112,7 +122,9 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
-        self.sim._schedule_event(self, 0.0, NORMAL)
+        sim = self.sim
+        sim._imm_normal.append((sim._now, sim._seq, self))
+        sim._seq += 1
         return self
 
     def trigger(self, event: "Event") -> None:

@@ -9,6 +9,7 @@ processes can wait on each other with ``yield other_process``.
 
 from __future__ import annotations
 
+from types import GeneratorType
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.sim.events import Event, Interrupt, PENDING, URGENT
@@ -25,18 +26,24 @@ class Process(Event):
     asynchronous interruption (:meth:`interrupt`).
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_send", "_throw", "_target", "name")
 
     def __init__(
         self, sim: "Simulator", generator: Generator, name: Optional[str] = None
     ) -> None:
-        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+        if type(generator) is not GeneratorType and (
+            not hasattr(generator, "send") or not hasattr(generator, "throw")
+        ):
             raise TypeError(
                 f"Process needs a generator, got {type(generator).__name__}: "
                 f"{generator!r} (did you call a plain function?)"
             )
         super().__init__(sim)
         self._generator = generator
+        # Bound-method caches: ``_resume`` runs once per wakeup of every
+        # simulated process, so skip the per-call attribute lookups.
+        self._send = generator.send
+        self._throw = generator.throw
         self.name = name or getattr(generator, "__name__", "process")
         #: The event this process is currently waiting on (None if running
         #: or finished).
@@ -84,17 +91,18 @@ class Process(Event):
     # -- engine internals --------------------------------------------------------
     def _resume(self, event: Event) -> None:
         """Advance the generator with ``event``'s outcome."""
-        if not self.is_alive:
+        if self._value is not PENDING:  # inlined ``not self.is_alive``
             # A stale wakeup (e.g. the original target of an interrupted
             # process firing later).  Swallow failures it carried.
             if event._ok is False:
                 event.defuse()
             return
         # Detach from the old target so stale triggers are recognisable.
-        if self._target is not None and self._target is not event:
-            if self._target.callbacks is not None:
+        target = self._target
+        if target is not None and target is not event:
+            if target.callbacks is not None:
                 try:
-                    self._target.callbacks.remove(self._resume)
+                    target.callbacks.remove(self._resume)
                 except ValueError:
                     pass
         self._target = None
@@ -102,10 +110,10 @@ class Process(Event):
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = self._send(event._value)
                 else:
                     event.defuse()
-                    next_event = self._generator.throw(event._value)
+                    next_event = self._throw(event._value)
             except StopIteration as stop:
                 self.succeed(stop.value)
                 return
@@ -113,7 +121,13 @@ class Process(Event):
                 self.fail(exc)
                 return
 
-            if not isinstance(next_event, Event):
+            # Fetch ``callbacks`` directly instead of ``isinstance(...,
+            # Event)`` + a second attribute load: this runs once per yield
+            # of every simulated process.  Non-events surface here as an
+            # AttributeError.
+            try:
+                callbacks = next_event.callbacks
+            except AttributeError:
                 error = RuntimeError(
                     f"process {self.name!r} yielded a non-event: "
                     f"{next_event!r} (missing `yield from`?)"
@@ -121,9 +135,9 @@ class Process(Event):
                 self.fail(error)
                 return
 
-            if next_event.callbacks is not None:
+            if callbacks is not None:
                 # Still pending (or triggered but unprocessed): register.
-                next_event.callbacks.append(self._resume)
+                callbacks.append(self._resume)
                 self._target = next_event
                 return
             # Already processed -- resume immediately without a queue trip.

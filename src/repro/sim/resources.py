@@ -118,8 +118,11 @@ class Store:
             # Hand straight to the oldest waiting getter.
             self._getters.popleft().succeed(item)
             event.succeed()
-        elif not self.is_full:
-            self._items.append(item)
+            return event
+        items = self._items
+        capacity = self.capacity
+        if capacity is None or len(items) < capacity:
+            items.append(item)
             event.succeed()
         else:
             self._putters.append((event, item))
@@ -130,8 +133,10 @@ class Store:
         if self._getters:
             self._getters.popleft().succeed(item)
             return True
-        if not self.is_full:
-            self._items.append(item)
+        items = self._items
+        capacity = self.capacity
+        if capacity is None or len(items) < capacity:
+            items.append(item)
             return True
         return False
 

@@ -52,9 +52,14 @@ IDLE_CATEGORIES = (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Segment:
-    """A half-open interval ``[start, end)`` of CPU activity."""
+    """A half-open interval ``[start, end)`` of CPU activity.
+
+    Plain slots (not frozen): one is created per CPU charge, and the
+    frozen dataclass ``object.__setattr__`` construction path showed up
+    in engine profiles.  Treat instances as immutable regardless.
+    """
 
     start: float
     end: float
@@ -85,7 +90,15 @@ class Timeline:
 
     def __init__(self, name: str = "cpu") -> None:
         self.name = name
-        self._segments: list[Segment] = []
+        #: Recording gate (same contract as ``TraceStream.enabled``):
+        #: benchmarks that do not read the oscilloscope turn it off and
+        #: every ``record``/``mark_idle_reason`` becomes a no-op.
+        self.enabled: bool = True
+        #: Raw (start, end, category, owner) tuples.  One is appended per
+        #: CPU charge, so the hot path stores bare tuples; the
+        #: :attr:`segments` property materialises :class:`Segment` objects
+        #: for readers.
+        self._segments: list[tuple[float, float, Category, Optional[str]]] = []
         #: (time, reason) marks; reason applies until the next mark.
         self._idle_marks: list[tuple[float, Category]] = [(0.0, Category.IDLE_OTHER)]
 
@@ -98,19 +111,24 @@ class Timeline:
         owner: Optional[str] = None,
     ) -> None:
         """Append a busy segment (zero-length segments are dropped)."""
+        if not self.enabled:
+            return
         if end < start:
             raise ValueError(f"segment ends before it starts: [{start}, {end})")
         if end == start:
             return
-        if self._segments and start < self._segments[-1].end - 1e-9:
+        segments = self._segments
+        if segments and start < segments[-1][1] - 1e-9:
             raise ValueError(
                 f"overlapping busy segments on {self.name}: new [{start}, {end}) "
-                f"begins before previous ends at {self._segments[-1].end}"
+                f"begins before previous ends at {segments[-1][1]}"
             )
-        self._segments.append(Segment(start, end, category, owner))
+        segments.append((start, end, category, owner))
 
     def mark_idle_reason(self, time: float, reason: Category) -> None:
         """Record that *subsequent* idle time has the given cause."""
+        if not self.enabled:
+            return
         if reason not in IDLE_CATEGORIES:
             raise ValueError(f"not an idle category: {reason}")
         last_t, last_r = self._idle_marks[-1]
@@ -123,12 +141,12 @@ class Timeline:
     # -- queries -----------------------------------------------------------
     @property
     def segments(self) -> tuple[Segment, ...]:
-        return tuple(self._segments)
+        return tuple(Segment(s, e, c, o) for s, e, c, o in self._segments)
 
     @property
     def end_time(self) -> float:
         """End of the last recorded busy segment."""
-        return self._segments[-1].end if self._segments else 0.0
+        return self._segments[-1][1] if self._segments else 0.0
 
     def busy_time(
         self,
@@ -138,12 +156,13 @@ class Timeline:
     ) -> float:
         """Total busy time (optionally one category) within ``[t0, t1)``."""
         total = 0.0
-        for seg in self._segments:
-            if category is not None and seg.category is not category:
+        for start, end, cat, _owner in self._segments:
+            if category is not None and cat is not category:
                 continue
-            clipped = seg.clipped(t0, t1)
-            if clipped is not None:
-                total += clipped.duration
+            lo = start if start > t0 else t0
+            hi = end if end < t1 else t1
+            if hi > lo:
+                total += hi - lo
         return total
 
     def idle_reason_at(self, time: float) -> Category:
@@ -159,14 +178,14 @@ class Timeline:
         """Idle intervals within ``[t0, t1)``, subdivided at reason marks."""
         gaps: list[tuple[float, float]] = []
         cursor = t0
-        for seg in self._segments:
-            if seg.end <= t0:
+        for start, end, _cat, _owner in self._segments:
+            if end <= t0:
                 continue
-            if seg.start >= t1:
+            if start >= t1:
                 break
-            if seg.start > cursor:
-                gaps.append((cursor, min(seg.start, t1)))
-            cursor = max(cursor, seg.end)
+            if start > cursor:
+                gaps.append((cursor, min(start, t1)))
+            cursor = max(cursor, end)
         if cursor < t1:
             gaps.append((cursor, t1))
         mark_times = [t for t, _ in self._idle_marks]
@@ -183,10 +202,11 @@ class Timeline:
         if t1 <= t0:
             raise ValueError(f"empty window [{t0}, {t1})")
         result = {cat: 0.0 for cat in Category}
-        for seg in self._segments:
-            clipped = seg.clipped(t0, t1)
-            if clipped is not None:
-                result[seg.category] += clipped.duration
+        for start, end, cat, _owner in self._segments:
+            lo = start if start > t0 else t0
+            hi = end if end < t1 else t1
+            if hi > lo:
+                result[cat] += hi - lo
         for seg in self.idle_segments(t0, t1):
             result[seg.category] += seg.duration
         return result
@@ -210,8 +230,10 @@ class TraceLog:
         self.node = node
 
     def log(self, time: float, tag: str, data: Any = None) -> None:
-        self.stream.emit(time, node=self.node, subsystem="app", name=tag,
-                         data=data)
+        stream = self.stream
+        if stream.enabled:
+            stream.emit(time, node=self.node, subsystem="app", name=tag,
+                        data=data)
 
     def _mine(self) -> list:
         if self.node:

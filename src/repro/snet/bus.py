@@ -102,10 +102,12 @@ class SNetBus:
                         self._m_rejections.inc()
             if not accepted:
                 self._m_rejections.inc()
-                self.sim.vstat.emit(
-                    self.sim.now, node=dst.name, subsystem="snet",
-                    name="fifo-full", src=packet.src, size=packet.size,
-                )
+                stream = self.sim.vstat.events
+                if stream.enabled:
+                    stream.emit(
+                        self.sim.now, node=dst.name, subsystem="snet",
+                        name="fifo-full", src=packet.src, size=packet.size,
+                    )
             dst.notify_delivery()
             return accepted
         finally:

@@ -71,6 +71,10 @@ class NodeKernel:
         self._m_bytes_posted = self.metrics.counter("kernel.bytes_posted")
         self._m_syscalls = self.metrics.counter("kernel.syscalls")
         self._m_interrupts = self.metrics.counter("kernel.interrupts")
+        #: Hot-path caches around the generic (name, labels) registry
+        #: lookup: per-op syscall counters and per-reason block counters.
+        self._m_syscalls_by_op: Dict[str, Any] = {}
+        self._m_blocks_by_reason: Dict[BlockReason, Any] = {}
         self.channels = ChannelService(self)
         self.objects = UserObjectService(self)
         self.manager = ObjectManagerService(self)
@@ -79,6 +83,10 @@ class NodeKernel:
         #: Extension services: message kind -> generator handler(packet).
         self._kind_handlers: Dict[MessageKind, Callable[[Packet], Generator]] = {}
         self._isr_active = False
+        #: Last idle category pushed to the timeline; this kernel is the
+        #: only writer, so an equality check here skips the
+        #: ``set_idle_reason`` call chain on no-change updates.
+        self._last_idle_category: Optional[Category] = None
         iface.set_rx_interrupt(self._rx_interrupt)
 
     # ------------------------------------------------------------------
@@ -104,15 +112,21 @@ class NodeKernel:
 
     def emit(self, subsystem: str, name: str, **fields) -> None:
         """Record a structured trace event for this node, timestamped now."""
-        self.sim.vstat.emit(
-            self.sim.now, node=self.name, subsystem=subsystem, name=name,
-            **fields,
-        )
+        stream = self.sim.vstat.events
+        if stream.enabled:
+            stream.emit(
+                self.sim._now, node=self.name, subsystem=subsystem,
+                name=name, **fields,
+            )
 
     def count_syscall(self, op: str) -> None:
         """Account one supervisor call (channel ops, forwarded UNIX calls)."""
         self._m_syscalls.inc()
-        self.metrics.counter("kernel.syscalls_by_op", labels=(op,)).inc()
+        counter = self._m_syscalls_by_op.get(op)
+        if counter is None:
+            counter = self.metrics.counter("kernel.syscalls_by_op", labels=(op,))
+            self._m_syscalls_by_op[op] = counter
+        counter.inc()
 
     # ------------------------------------------------------------------
     # CPU charge helpers
@@ -279,7 +293,11 @@ class NodeKernel:
         """
         sp.state = SubprocessState.BLOCKED
         sp.blocked_on = reason
-        self.metrics.counter("kernel.blocks", labels=(reason.value,)).inc()
+        counter = self._m_blocks_by_reason.get(reason)
+        if counter is None:
+            counter = self.metrics.counter("kernel.blocks", labels=(reason.value,))
+            self._m_blocks_by_reason[reason] = counter
+        counter.inc()
         self._update_idle_reason()
         try:
             value = yield event
@@ -299,21 +317,42 @@ class NodeKernel:
     # oscilloscope support
     # ------------------------------------------------------------------
     def _update_idle_reason(self) -> None:
-        live = [sp for sp in self.subprocesses if sp.is_live]
-        blocked = [sp for sp in live if sp.state is SubprocessState.BLOCKED]
-        if live and len(blocked) == len(live):
-            reasons = {sp.blocked_on for sp in blocked}
-            if reasons == {BlockReason.INPUT}:
-                category = Category.IDLE_INPUT
-            elif reasons == {BlockReason.OUTPUT}:
-                category = Category.IDLE_OUTPUT
-            elif reasons <= {BlockReason.INPUT, BlockReason.OUTPUT}:
-                category = Category.IDLE_MIXED
+        # Runs on every block/unblock: a single allocation-free pass over
+        # the subprocess table, tracking whether every live subprocess is
+        # blocked and which of the INPUT/OUTPUT/other reasons occur.
+        # Purely observational -- skipped entirely when the oscilloscope
+        # timeline is not recording.
+        if not self.cpu.timeline.enabled:
+            return
+        any_live = False
+        inputs = outputs = others = 0
+        for sp in self.subprocesses:
+            if not sp.is_live:
+                continue
+            any_live = True
+            if sp.state is not SubprocessState.BLOCKED:
+                if self._last_idle_category is not Category.IDLE_OTHER:
+                    self._last_idle_category = Category.IDLE_OTHER
+                    self.cpu.set_idle_reason(Category.IDLE_OTHER)
+                return
+            reason = sp.blocked_on
+            if reason is BlockReason.INPUT:
+                inputs += 1
+            elif reason is BlockReason.OUTPUT:
+                outputs += 1
             else:
-                category = Category.IDLE_OTHER
-        else:
+                others += 1
+        if not any_live or others:
             category = Category.IDLE_OTHER
-        self.cpu.set_idle_reason(category)
+        elif inputs and outputs:
+            category = Category.IDLE_MIXED
+        elif inputs:
+            category = Category.IDLE_INPUT
+        else:
+            category = Category.IDLE_OUTPUT
+        if category is not self._last_idle_category:
+            self._last_idle_category = category
+            self.cpu.set_idle_reason(category)
 
     # ------------------------------------------------------------------
     # prof support

@@ -178,3 +178,14 @@ def test_render_histogram_summary_line():
     assert "n=10" in text
     assert "p50=303.0us" in text
     assert render_histogram(Histogram("empty")).endswith("(no observations)")
+
+
+def test_histogram_out_of_range_observations_clamp():
+    """Out-of-range values clamp into the end buckets instead of raising."""
+    h = Histogram("lat", buckets=(10.0, 20.0))
+    h.observe(1e12)  # far beyond the last edge -> implicit overflow bucket
+    h.observe(-5.0)  # below every edge -> first bucket
+    assert h.counts[-1] == 1
+    assert h.counts[0] == 1
+    assert h.count == 2
+    assert h.snapshot()["buckets"]["+inf"] == 1

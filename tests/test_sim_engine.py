@@ -196,3 +196,40 @@ def test_determinism_two_identical_runs():
         return log
 
     assert build() == build()
+
+
+def test_lazy_cancel_churn_keeps_heap_compact():
+    """call_later().cancel() churn must not grow the heap without bound.
+
+    Cancellation is lazy (the entry is skipped at pop time), so the
+    engine compacts the heap once cancelled entries dominate it -- the
+    asyncio approach.  Without compaction this loop would leave ~10_000
+    dead entries in the queue.
+    """
+    sim = Simulator()
+    fired = []
+    sim.call_later(50_000.0, lambda: fired.append(True))
+    peak = 0
+    for _ in range(10_000):
+        sim.call_later(1_000.0, lambda: None).cancel()
+        peak = max(peak, len(sim._queue))
+    assert peak < 300  # bounded by the >50%-cancelled compaction trigger
+    assert len(sim._queue) < 300
+    sim.run()
+    assert fired == [True]  # the live handle survived every compaction
+    assert sim.now == 50_000.0
+
+
+def test_compaction_preserves_order_among_survivors():
+    sim = Simulator()
+    order = []
+    handles = []
+    for i in range(400):
+        if i % 4 == 0:
+            sim.call_later(float(1 + i), lambda i=i: order.append(i))
+        else:
+            handles.append(sim.call_later(float(1 + i), lambda: None))
+    for handle in handles:
+        handle.cancel()  # 300 of 400 cancelled -> compaction has run
+    sim.run()
+    assert order == [i for i in range(400) if i % 4 == 0]
