@@ -51,7 +51,8 @@ import time
 from pathlib import Path
 
 from repro import FaultPlan, VorxSystem
-from repro.vorx.sliding_window import run_sliding_window
+from repro.model.costs import CostModel
+from repro.vorx.sliding_window import run_large_write, run_sliding_window
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_simcore.json"
@@ -164,6 +165,34 @@ def wl_paper_scale(params: dict) -> dict:
     return _result(system.sim, time.perf_counter() - t0)
 
 
+def wl_large_write(params: dict) -> dict:
+    """1 MB bulk transfer, stop-and-wait vs the batched write path.
+
+    Runs the same workload twice -- default costs, then
+    ``CostModel.batched(window)`` -- and reports the engine statistics of
+    the batched run plus both simulated throughputs.  The extra
+    ``kbytes_per_sec_*`` keys ride alongside the standard measurement
+    keys (``validate()`` ignores extras); ``batched_speedup_kbytes`` is
+    the tentpole's acceptance number (>= 1.3x).
+    """
+    total, window = params["total_bytes"], params["window"]
+    unbatched = run_large_write(total_bytes=total)
+    t0 = time.perf_counter()
+    batched = run_large_write(
+        total_bytes=total, costs=CostModel().batched(window=window)
+    )
+    wall = time.perf_counter() - t0
+    if batched.sim is None:  # pragma: no cover - old StreamResult shape
+        raise RuntimeError("run_large_write() did not return its sim")
+    result = _result(batched.sim, wall)
+    result["kbytes_per_sec_unbatched"] = round(unbatched.kbytes_per_sec, 1)
+    result["kbytes_per_sec_batched"] = round(batched.kbytes_per_sec, 1)
+    result["batched_speedup_kbytes"] = round(
+        batched.kbytes_per_sec / unbatched.kbytes_per_sec, 2
+    )
+    return result
+
+
 def wl_faultstorm(params: dict) -> dict:
     pairs, messages, nbytes = params["pairs"], params["messages"], 256
     t0 = time.perf_counter()
@@ -215,6 +244,13 @@ WORKLOADS = {
         "description": "channel pairs under seeded drop/corrupt/duplicate storm",
         "full": {"pairs": 4, "messages": 60},
         "smoke": {"pairs": 2, "messages": 4},
+    },
+    "large_write_1mb": {
+        "fn": wl_large_write,
+        "description": "1 MB bulk channel transfer, stop-and-wait vs "
+                       "batched window (k=8)",
+        "full": {"total_bytes": 1_048_576, "window": 8},
+        "smoke": {"total_bytes": 131_072, "window": 8},
     },
 }
 

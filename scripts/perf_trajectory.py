@@ -1,0 +1,326 @@
+#!/usr/bin/env python
+"""Perf trajectory: accumulate BENCH_simcore.json runs, render an SVG chart.
+
+``scripts/perf.py`` measures one run; this script gives those runs a
+memory.  ``--append`` folds the measurements of a results file into a
+JSONL history (one line per run, labelled with a commit-ish); ``--render``
+draws the whole history as an events/sec-over-runs line chart -- one
+series per workload -- as a standalone SVG with no dependencies beyond
+the standard library.
+
+CI keeps ``BENCH_history.jsonl`` in the actions cache and uploads the
+rendered chart with the perf-smoke artifact, so every PR shows the
+engine-throughput trajectory across recent runs.
+
+Usage::
+
+    python scripts/perf_trajectory.py --append --bench /tmp/b.json \\
+        --history BENCH_history.jsonl --label abc123
+    python scripts/perf_trajectory.py --render perf-trajectory.svg \\
+        --history BENCH_history.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+#: Validated categorical palette (light mode), assigned to workloads in
+#: fixed slot order -- never cycled or re-ranked when workloads come and
+#: go.  Slots 3-5 sit below 3:1 contrast on the light surface, so the
+#: chart carries the relief the validator requires: a legend plus visible
+#: end-of-line labels for every series.
+SERIES_COLORS = ("#2a78d6", "#eb6834", "#1baf7a", "#eda100", "#e87ba4")
+SURFACE = "#fcfcfb"
+INK_PRIMARY = "#0b0b0b"
+INK_SECONDARY = "#52514e"
+INK_MUTED = "#898781"
+GRIDLINE = "#e1e0d9"
+BASELINE = "#c3c2b7"
+BORDER = "rgba(11,11,11,0.10)"
+
+#: Fixed slot assignment: the workload set is stable, so each keeps its
+#: color even when a subset is plotted.
+WORKLOAD_SLOTS = (
+    "pingpong_4b",
+    "stream_1024b_k8",
+    "paper_scale_70x10",
+    "faultstorm",
+    "large_write_1mb",
+)
+
+FONT = 'system-ui, -apple-system, "Segoe UI", sans-serif'
+
+
+# ---------------------------------------------------------------------------
+# history
+# ---------------------------------------------------------------------------
+def bench_to_record(doc: dict, label: str, timestamp: float) -> dict:
+    """One history line: label + per-workload events/sec of the run."""
+    if doc.get("schema") != "simcore-bench/v1":
+        raise ValueError(f"unexpected schema: {doc.get('schema')!r}")
+    workloads = {}
+    for name, entry in doc.get("workloads", {}).items():
+        measurement = entry.get("current") or entry.get("baseline")
+        if measurement:
+            workloads[name] = measurement["events_per_sec"]
+    if not workloads:
+        raise ValueError("results file holds no measurements")
+    return {
+        "label": label,
+        "ts": round(timestamp, 1),
+        "mode": doc.get("mode", "?"),
+        "events_per_sec": workloads,
+    }
+
+
+def append_record(bench: Path, history: Path, label: str) -> dict:
+    record = bench_to_record(json.loads(bench.read_text()), label, time.time())
+    with history.open("a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
+def load_history(history: Path) -> list[dict]:
+    records = []
+    for line in history.read_text().splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+# ---------------------------------------------------------------------------
+# rendering helpers
+# ---------------------------------------------------------------------------
+def nice_ceiling(value: float) -> float:
+    """Round up to a 1/2/2.5/5 x 10^k step for a clean axis maximum."""
+    if value <= 0:
+        return 1.0
+    magnitude = 10 ** (len(str(int(value))) - 1)
+    for factor in (1.0, 2.0, 2.5, 5.0, 10.0):
+        if value <= factor * magnitude:
+            return factor * magnitude
+    return 10.0 * magnitude  # pragma: no cover - factor 10 always catches
+
+
+def fmt_tick(value: float) -> str:
+    if value >= 1_000_000:
+        return f"{value / 1_000_000:g}M"
+    if value >= 1_000:
+        return f"{value / 1_000:g}k"
+    return f"{value:g}"
+
+
+def spread_labels(positions: list[float], min_gap: float,
+                  lo: float, hi: float) -> list[float]:
+    """Nudge label y-positions apart so end-of-line labels never collide.
+
+    Greedy top-down pass over the positions sorted ascending, then a
+    clamp back inside [lo, hi]; input order is preserved in the output.
+    """
+    order = sorted(range(len(positions)), key=lambda i: positions[i])
+    adjusted = positions[:]
+    previous = lo - min_gap
+    for index in order:
+        adjusted[index] = max(adjusted[index], previous + min_gap)
+        previous = adjusted[index]
+    overflow = adjusted[order[-1]] - hi if order else 0.0
+    if overflow > 0:
+        for index in order:
+            adjusted[index] -= overflow
+    return adjusted
+
+
+def _esc(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+# ---------------------------------------------------------------------------
+# chart
+# ---------------------------------------------------------------------------
+def render_svg(records: list[dict]) -> str:
+    """The trajectory chart: events/sec per workload across runs."""
+    if not records:
+        raise ValueError("history is empty; run --append first")
+    present = {n for r in records for n in r["events_per_sec"]}
+    series = [(n, SERIES_COLORS[slot])
+              for slot, n in enumerate(WORKLOAD_SLOTS) if n in present]
+    free = [c for c in SERIES_COLORS if c not in dict(series).values()]
+    for extra, color in zip(sorted(present - set(WORKLOAD_SLOTS)), free):
+        series.append((extra, color))
+
+    width, height = 960, 540
+    left, right, top, bottom = 76, 200, 96, 56
+    plot_w, plot_h = width - left - right, height - top - bottom
+    n_runs = len(records)
+
+    top_value = nice_ceiling(max(
+        value for r in records for value in r["events_per_sec"].values()
+    ))
+    n_ticks = 5
+
+    def x_at(run_index: int) -> float:
+        if n_runs == 1:
+            return left + plot_w / 2
+        return left + plot_w * run_index / (n_runs - 1)
+
+    def y_at(value: float) -> float:
+        return top + plot_h * (1.0 - value / top_value)
+
+    parts: list[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family=\'{FONT}\'>'
+    )
+    parts.append(
+        f'<rect x="0.5" y="0.5" width="{width - 1}" height="{height - 1}" '
+        f'rx="8" fill="{SURFACE}" stroke="{BORDER}"/>'
+    )
+    parts.append(
+        f'<text x="{left}" y="34" font-size="15" font-weight="600" '
+        f'fill="{INK_PRIMARY}">Simulator core performance trajectory</text>'
+    )
+    modes = {r.get("mode", "?") for r in records}
+    mode_note = f", {modes.pop()} mode" if len(modes) == 1 else ""
+    parts.append(
+        f'<text x="{left}" y="52" font-size="12" fill="{INK_SECONDARY}">'
+        f'engine events per wall-clock second, scripts/perf.py runs over '
+        f'time{_esc(mode_note)} &#8212; higher is better</text>'
+    )
+
+    # Legend row (identity is never color-alone: labels are text-ink).
+    legend_x = float(left)
+    for name, color in series:
+        parts.append(
+            f'<rect x="{legend_x:.1f}" y="64" width="10" height="10" rx="3" '
+            f'fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 15:.1f}" y="73" font-size="11" '
+            f'fill="{INK_SECONDARY}">{_esc(name)}</text>'
+        )
+        legend_x += 15 + 6.6 * len(name) + 22
+
+    # Horizontal hairline grid + y tick labels.
+    for tick in range(n_ticks + 1):
+        value = top_value * tick / n_ticks
+        y = y_at(value)
+        stroke = BASELINE if tick == 0 else GRIDLINE
+        parts.append(
+            f'<line x1="{left}" y1="{y:.1f}" x2="{left + plot_w}" '
+            f'y2="{y:.1f}" stroke="{stroke}" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{left - 8}" y="{y + 4:.1f}" font-size="11" '
+            f'text-anchor="end" fill="{INK_MUTED}" '
+            f'style="font-variant-numeric: tabular-nums">'
+            f'{fmt_tick(value)}</text>'
+        )
+    parts.append(
+        f'<text x="{left - 8}" y="{top - 12}" font-size="11" '
+        f'text-anchor="end" fill="{INK_MUTED}">ev/s</text>'
+    )
+
+    # X tick labels: run labels, thinned when the history grows long.
+    stride = max(1, (n_runs + 11) // 12)
+    for run_index, record in enumerate(records):
+        if run_index % stride and run_index != n_runs - 1:
+            continue
+        parts.append(
+            f'<text x="{x_at(run_index):.1f}" y="{top + plot_h + 18}" '
+            f'font-size="10" text-anchor="middle" fill="{INK_MUTED}">'
+            f'{_esc(str(record["label"])[:10])}</text>'
+        )
+
+    # Series: 2px lines, 8px markers ringed with the surface color, a
+    # native <title> tooltip per marker.
+    end_labels = []
+    for name, color in series:
+        points = [
+            (run_index, record["events_per_sec"][name])
+            for run_index, record in enumerate(records)
+            if name in record["events_per_sec"]
+        ]
+        coordinates = [(x_at(i), y_at(v)) for i, v in points]
+        if len(coordinates) > 1:
+            path = " ".join(f"{x:.1f},{y:.1f}" for x, y in coordinates)
+            parts.append(
+                f'<polyline points="{path}" fill="none" stroke="{color}" '
+                f'stroke-width="2" stroke-linejoin="round" '
+                f'stroke-linecap="round"/>'
+            )
+        for (run_index, value), (x, y) in zip(points, coordinates):
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="4" fill="{color}" '
+                f'stroke="{SURFACE}" stroke-width="2">'
+                f'<title>{_esc(name)} &#183; '
+                f'{_esc(str(records[run_index]["label"]))} &#183; '
+                f'{value:,.0f} ev/s</title></circle>'
+            )
+        end_labels.append((name, color, coordinates[-1][1], points[-1][1]))
+
+    # End-of-line labels (the contrast-relief channel): series name and
+    # latest value in text ink, the colored line end carries identity.
+    spread = spread_labels([y for _, _, y, _ in end_labels], 14.0,
+                           top + 6, top + plot_h - 2)
+    for (name, color, _, value), label_y in zip(end_labels, spread):
+        parts.append(
+            f'<circle cx="{left + plot_w + 10}" cy="{label_y - 3.5:.1f}" '
+            f'r="3.5" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{left + plot_w + 18}" y="{label_y:.1f}" '
+            f'font-size="11" fill="{INK_SECONDARY}" '
+            f'style="font-variant-numeric: tabular-nums">'
+            f'{_esc(name)} {value:,.0f}</text>'
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--history", type=Path,
+                        default=Path("BENCH_history.jsonl"),
+                        help="JSONL history file (default %(default)s)")
+    parser.add_argument("--append", action="store_true",
+                        help="append the measurements of --bench to the "
+                             "history")
+    parser.add_argument("--bench", type=Path,
+                        default=Path("BENCH_simcore.json"),
+                        help="results file to append (default %(default)s)")
+    parser.add_argument("--label", default="local",
+                        help="run label for --append (e.g. a short sha)")
+    parser.add_argument("--render", type=Path, metavar="SVG",
+                        help="render the history to this SVG file")
+    args = parser.parse_args(argv)
+
+    if not args.append and args.render is None:
+        parser.error("nothing to do: pass --append and/or --render")
+    if args.append:
+        record = append_record(args.bench, args.history, args.label)
+        print(
+            f"appended {args.label}: "
+            + ", ".join(f"{k}={v:,.0f}" for k, v in
+                        sorted(record["events_per_sec"].items())),
+            file=sys.stderr,
+        )
+    if args.render is not None:
+        records = load_history(args.history)
+        args.render.write_text(render_svg(records))
+        print(f"wrote {args.render} ({len(records)} runs)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

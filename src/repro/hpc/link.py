@@ -91,7 +91,30 @@ class Link:
         busy_inc = self._m_busy.inc
         messages_inc = self._m_messages.inc
         bytes_inc = self._m_bytes.inc
+        coalesce = self.costs.link_coalesce_wakeups
+        credits = downstream.credits
         while True:
+            if coalesce and sim.faults is None:
+                # Coalesced wakeup: when a request is queued *and* a
+                # downstream buffer is free, take both in one engine
+                # event instead of the get/reserve wakeup pair.  Gated
+                # off under fault plans (the injector must see the
+                # packet before the buffer is reserved) and off by
+                # default: fusing changes event ordering, so it is not
+                # golden-safe.
+                fused = requests.get_with(credits)
+                if fused is not None:
+                    packet, done = yield fused
+                    queue_depth_set(len(request_items))
+                    wire = wire_time(packet.size) + hop_latency
+                    yield sim.timeout(wire)
+                    busy_inc(wire)
+                    messages_inc()
+                    bytes_inc(packet.size)
+                    packet.hops += 1
+                    downstream.deliver(packet)
+                    done.succeed()
+                    continue
             packet, done = yield requests.get()
             queue_depth_set(len(request_items))
             injector = sim.faults
@@ -123,7 +146,13 @@ class Link:
                 # Hardware flow control: wait for a whole-message buffer
                 # downstream before occupying the wire.
                 stall_from = sim._now
-                yield downstream.reserve()
+                if coalesce and injector is None and credits.try_acquire():
+                    # Coalesced wakeup, common case: a buffer is free, so
+                    # the reservation is satisfied synchronously -- no
+                    # acquire event, no extra generator resume.
+                    pass
+                else:
+                    yield downstream.reserve()
                 stalled = sim._now - stall_from
                 if stalled > 0:
                     self.metrics.counter("link.reserve_stalls").inc()

@@ -73,6 +73,11 @@ class Packet:
     #: receivers detect duplicates created by fault injection or spurious
     #: retransmission; ``None`` outside the channel data path.
     xfer: Optional[int] = None
+    #: True when this fragment belongs to a *batched* (windowed) channel
+    #: write: the receiving kernel defers the acknowledgement of a
+    #: side-buffered fragment until a reader consumes it, which is what
+    #: flow-controls the sender's window to the reader's pace.
+    batched: bool = False
     #: Set by the fault injector when the message was damaged in flight;
     #: receivers treat a corrupted message as undecodable and request
     #: retransmission.

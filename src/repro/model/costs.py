@@ -130,6 +130,38 @@ class CostModel:
     chan_open_kernel: float = 180.0
 
     # ------------------------------------------------------------------
+    # Batched fragmented writes ("one syscall, N wire events", Section 4)
+    # ------------------------------------------------------------------
+    #: Maximum in-flight (unacknowledged) fragments a single large write
+    #: may pipeline.  ``1`` is the paper-faithful stop-and-wait protocol
+    #: (the default, and what every Table 1/Table 2 calibration uses);
+    #: values > 1 enable the batched large-write path that charges one
+    #: setup cost per write and streams fragments back-to-back.  The
+    #: effective window is clamped to ``chan_side_buffers`` so a healthy
+    #: receiver can always buffer the whole window.
+    chan_batch_window: int = 1
+    #: One-time kernel setup for a batched write: validate the descriptor,
+    #: build the fragment ring, start the hardware (charged once per
+    #: write instead of once per fragment).
+    chan_batch_setup: float = 77.0
+    #: Per-fragment kernel charge in batched mode: advance the descriptor
+    #: ring and kick the next DMA (the expensive validation/header work
+    #: was done once at setup).
+    chan_batch_frag_kernel: float = 12.0
+
+    # ------------------------------------------------------------------
+    # Engine-level wakeup coalescing (simulation optimisation, no
+    # simulated-time effect beyond event ordering)
+    # ------------------------------------------------------------------
+    #: When True, a link pump whose next request *and* downstream buffer
+    #: credit are both immediately available consumes them synchronously
+    #: -- one engine event per hop instead of three.  Off by default: the
+    #: coalesced schedule is observably equivalent but not bit-identical
+    #: in ``(time, priority, seq)`` order, and the determinism goldens pin
+    #: the uncoalesced order.
+    link_coalesce_wakeups: bool = False
+
+    # ------------------------------------------------------------------
     # User-defined communications objects (Section 4.1)
     # ------------------------------------------------------------------
     #: Application writing the device registers directly to launch a
@@ -224,6 +256,24 @@ class CostModel:
         return (
             self.snet_bus_overhead
             + self.snet_us_per_byte * (payload_bytes + self.snet_header_bytes)
+        )
+
+    def batched(
+        self, window: int = 8, coalesce_wakeups: bool = True
+    ) -> "CostModel":
+        """A model with the batched large-write path enabled.
+
+        ``window`` is the number of in-flight fragments a large write may
+        pipeline (:attr:`chan_batch_window`); ``coalesce_wakeups`` also
+        turns on the engine-level link-pump wakeup coalescing.  All
+        calibrated timing constants are unchanged.
+        """
+        if window < 1:
+            raise ValueError(f"batch window must be >= 1, got {window}")
+        return replace(
+            self,
+            chan_batch_window=window,
+            link_coalesce_wakeups=coalesce_wakeups,
         )
 
     def scaled(self, factor: float) -> "CostModel":

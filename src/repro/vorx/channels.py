@@ -47,8 +47,12 @@ class ChannelEndpoint:
         self.peer_eid: Optional[int] = None
         self.open = False
         self.closed = False
-        #: Buffered arrivals: (size, payload) tuples.
-        self.side_buffers: deque[tuple[int, Any]] = deque()
+        #: Buffered arrivals: ``(size, payload, owed_ack)`` tuples.
+        #: ``owed_ack`` is ``None`` when the fragment was acknowledged at
+        #: the ISR (stop-and-wait), or the ``(xfer, src, src_channel)``
+        #: address of the deferred acknowledgement a *batched* fragment
+        #: earns only when a reader consumes the buffer.
+        self.side_buffers: deque[tuple[int, Any, Any]] = deque()
         #: Event a blocked reader waits on (shared for multiplexed reads).
         self.reader_event: Optional["Event"] = None
         #: Endpoints sharing the reader event (multiplexed read group).
@@ -65,6 +69,22 @@ class ChannelEndpoint:
         self.last_xfer = -1
         #: True if we dropped a data message and owe the peer a RETRY.
         self.starved_peer = False
+        #: In-flight unacknowledged fragments of a *batched* write, keyed
+        #: by transfer id (insertion order == transfer order).
+        self.window: dict[int, tuple[int, Any]] = {}
+        #: While a batched writer is blocked: wake it once ``len(window)``
+        #: drops below this threshold (slot freed, or fully drained).
+        self.wake_below = 0
+        #: True for the whole duration of a batched write -- spans the
+        #: transient moments when the window is empty between fragments,
+        #: so the busy check and the batch watchdog see one write, not
+        #: many.
+        self.batch_active = False
+        #: Batched fragments we dropped (buffer starvation or a sequence
+        #: gap) that are owed a pull-retransmission: each consuming read
+        #: pulls exactly one CTRL_RETRY, so retry traffic tracks the
+        #: reader's pace instead of flooding.
+        self.owed_pulls = 0
         #: Statistics reported by the communications debugger.  Both ends
         #: count *fragments* (the unit actually acknowledged on the wire),
         #: so the two sides of a fragmented write agree.
@@ -194,17 +214,29 @@ class ChannelService:
         kernel acknowledges it.  The kernel never copies the data to a
         safe place -- the writer stays blocked, so its buffer is stable
         (the paper's justification for stop-and-wait error recovery).
+
+        When :attr:`~repro.model.costs.CostModel.chan_batch_window` is
+        greater than one, multi-fragment writes take the *batched* path
+        instead (see :meth:`_write_batched`): one syscall charge, up to
+        ``k`` fragments pipelined in flight, same per-fragment ack and
+        retransmission guarantees.
         """
         kernel = self.kernel
         costs = kernel.costs
         self._require_open(endpoint)
         kernel.count_syscall("chan_write")
-        if endpoint.writer_event is not None:
+        if endpoint.writer_event is not None or endpoint.batch_active:
             raise ChannelBusyError(
                 f"channel {endpoint.name!r} already has a write outstanding"
             )
         if nbytes < 0:
             raise ValueError(f"negative write length: {nbytes}")
+        window_k = min(costs.chan_batch_window, costs.chan_side_buffers)
+        if window_k > 1 and nbytes > costs.hpc_max_message:
+            yield from self._write_batched(
+                sp, endpoint, nbytes, payload, window_k
+            )
+            return
         started_at = kernel.sim.now
         yield kernel.k_exec(costs.syscall_overhead)
         remaining = nbytes
@@ -295,6 +327,147 @@ class ChannelService:
             )
 
     # ------------------------------------------------------------------
+    # batched write (subprocess context): windowed fragmentation
+    # ------------------------------------------------------------------
+    def _write_batched(self, sp: Subprocess, endpoint: ChannelEndpoint,
+                       nbytes: int, payload: Any, window_k: int):
+        """Generator: windowed large write -- one syscall, ``k`` in flight.
+
+        This is the paper's "one system call, many wire events" large
+        write.  It keeps every stop-and-wait *guarantee* -- each fragment
+        individually acknowledged, retransmitted on loss, counted
+        identically by cdb on both ends -- while amortizing the software
+        cost: one ``syscall_overhead + chan_batch_setup`` charge covers
+        the whole call, each fragment then costs only
+        ``chan_batch_frag_kernel`` plus its copy, and up to ``window_k``
+        fragments may be unacknowledged at once.
+
+        Flow control comes from the acknowledgement discipline rather
+        than a separate credit scheme: the receiving kernel acknowledges
+        a batched fragment it *side-buffers* only when a reader consumes
+        it (see :meth:`on_data` / :meth:`read`), so the window advances
+        at the reader's pace and the sender can never run more than
+        ``window_k <= chan_side_buffers`` fragments ahead.  A
+        consequence worth knowing: the write returns only once the
+        receiver has drained every fragment, which is the strict reading
+        of the paper's "the writer stays blocked, so its buffer is
+        stable".
+
+        Loss recovery is go-back-N: the receiver accepts batched
+        fragments only in transfer-id order (a gap is dropped
+        unacknowledged), acknowledgements are cumulative at this end,
+        and retransmission of the *oldest* window entry is pulled by the
+        receiver (one CTRL_RETRY per consuming read) or pushed by the
+        timeout watchdog when a fault plan can lose messages outright.
+        """
+        kernel = self.kernel
+        costs = kernel.costs
+        started_at = kernel.sim.now
+        # One kernel entry covers the whole call: the per-write syscall
+        # plus the batch descriptor setup.
+        yield kernel.k_exec(costs.syscall_overhead + costs.chan_batch_setup)
+        endpoint.batch_active = True
+        injector = kernel.sim.faults
+        watchdog_armed = False
+        window = endpoint.window
+        try:
+            remaining = nbytes
+            first = True
+            while first or remaining > 0:
+                first = False
+                fragment = min(remaining, costs.hpc_max_message)
+                remaining -= fragment
+                last = remaining == 0
+                yield kernel.k_exec(
+                    costs.chan_batch_frag_kernel + costs.copy_time(fragment)
+                )
+                if endpoint.closed or endpoint.peer_addr is None:
+                    raise ChannelClosedError(
+                        f"channel {endpoint.name!r} closed"
+                    )
+                xfer = endpoint.next_xfer
+                endpoint.next_xfer += 1
+                window[xfer] = (fragment, payload if last else None)
+                kernel.post(
+                    dst=endpoint.peer_addr,
+                    size=fragment,
+                    kind=MessageKind.CHANNEL_DATA,
+                    channel=endpoint.peer_eid,
+                    src_channel=endpoint.eid,
+                    payload=(payload if last else None),
+                    xfer=xfer,
+                    batched=True,
+                )
+                if (
+                    not watchdog_armed
+                    and injector is not None
+                    and injector.plan.can_lose_messages
+                ):
+                    # One watchdog guards the whole write (stop-and-wait
+                    # arms one per fragment): on timeout it re-sends the
+                    # oldest unacknowledged window entry.
+                    watchdog_armed = True
+                    kernel.sim.process(self._batch_watchdog(endpoint))
+                # Block while the window is full -- or, after the last
+                # fragment, until every acknowledgement has drained.
+                limit = 1 if last else window_k
+                while len(window) >= limit:
+                    ack = kernel.sim.event()
+                    endpoint.writer_event = ack
+                    endpoint.wake_below = limit
+                    try:
+                        yield from kernel.block(sp, BlockReason.OUTPUT, ack)
+                    finally:
+                        endpoint.writer_event = None
+                        endpoint.wake_below = 0
+        finally:
+            endpoint.batch_active = False
+            window.clear()
+        self._m_writes.inc()
+        kernel.metrics.counter("chan.batched_writes").inc()
+        self._m_write_rtt.observe(kernel.sim.now - started_at)
+
+    def _batch_watchdog(self, endpoint: ChannelEndpoint):
+        """Generator (kernel context): go-back-N timeout retransmission.
+
+        Started once per batched write, only while a fault plan can lose
+        messages.  Each period it re-sends the oldest unacknowledged
+        window entry; the receiver's in-order filter makes a spurious
+        re-send harmless (duplicate -> immediate re-ack).
+        """
+        kernel = self.kernel
+        period = kernel.sim.faults.plan.channel_retry_timeout_us
+        while True:
+            yield kernel.sim.timeout(period)
+            if not endpoint.batch_active or endpoint.closed:
+                return
+            window = endpoint.window
+            if not window:
+                continue  # between fragments; the write is still active
+            xfer = min(window)
+            size, frag_payload = window[xfer]
+            self._m_timeout_retransmits.inc()
+            kernel.emit("channel", "channel-timeout-retransmit",
+                        data=endpoint.name, eid=endpoint.eid, size=size,
+                        xfer=xfer)
+            yield kernel.k_exec(
+                kernel.costs.chan_send_kernel + kernel.costs.copy_time(size)
+            )
+            # The ack may have raced in while we were charging the copy.
+            if xfer not in endpoint.window or endpoint.closed:
+                continue
+            kernel.post(
+                dst=endpoint.peer_addr,
+                size=size,
+                kind=MessageKind.CHANNEL_DATA,
+                channel=endpoint.peer_eid,
+                src_channel=endpoint.eid,
+                payload=frag_payload,
+                xfer=xfer,
+                batched=True,
+            )
+
+    # ------------------------------------------------------------------
     # read (subprocess context)
     # ------------------------------------------------------------------
     def read(self, sp: Subprocess, endpoint: ChannelEndpoint):
@@ -309,10 +482,12 @@ class ChannelService:
             )
         yield kernel.k_exec(costs.syscall_overhead)
         if endpoint.side_buffers:
-            size, payload = endpoint.side_buffers.popleft()
+            size, payload, owed = endpoint.side_buffers.popleft()
             # Second copy: side buffer -> user buffer.
             yield kernel.k_exec(costs.copy_time(size))
             self._maybe_send_retry(endpoint)
+            if owed is not None:
+                yield from self._send_owed_ack(owed)
             return size, payload
         if endpoint.closed:
             raise ChannelClosedError(f"channel {endpoint.name!r} closed")
@@ -349,18 +524,33 @@ class ChannelService:
             seen_eids.add(endpoint.eid)
         kernel.count_syscall("chan_read_any")
         yield kernel.k_exec(costs.syscall_overhead)
-        # Buffered data on any member wins immediately (FIFO by list order).
+        # Validate the *whole* group before consuming any side buffer: a
+        # not-open or busy endpoint anywhere in the list must reject the
+        # call, even when an earlier endpoint already has buffered data.
+        # (Validating inside the scan below accepted invalid members that
+        # happened to come after the first hit.)
         for endpoint in endpoints:
             self._require_open(endpoint)
             if endpoint.reader_event is not None:
                 raise ChannelBusyError(
                     f"channel {endpoint.name!r} already has a read outstanding"
                 )
+        # Buffered data on any member wins immediately (FIFO by list order).
+        for endpoint in endpoints:
             if endpoint.side_buffers:
-                size, payload = endpoint.side_buffers.popleft()
+                size, payload, owed = endpoint.side_buffers.popleft()
                 yield kernel.k_exec(costs.copy_time(size))
                 self._maybe_send_retry(endpoint)
+                if owed is not None:
+                    yield from self._send_owed_ack(owed)
                 return endpoint, size, payload
+        if all(endpoint.closed for endpoint in endpoints):
+            # Nothing buffered and every member closed: no data can ever
+            # arrive, so blocking would hang forever (mirrors the plain
+            # read's closed-and-empty behaviour).
+            raise ChannelClosedError(
+                "read_any: every channel in the group is closed"
+            )
         event = kernel.sim.event()
         group = list(endpoints)
         for endpoint in group:
@@ -426,8 +616,29 @@ class ChannelService:
                 channel=packet.src_channel,
                 xfer=packet.xfer,
             )
+            if packet.batched:
+                # The re-ack is cumulative at the sender and may have
+                # freed window slots; pull one owed retransmission so a
+                # gap behind this duplicate keeps healing.
+                self._pull_retry(endpoint)
+            return
+        if packet.xfer is not None and packet.xfer > endpoint.last_xfer + 1:
+            # Sequence gap: an earlier fragment of a pipelined (batched)
+            # write was lost in flight or dropped for starvation.
+            # Accepting this one would let the duplicate filter discard
+            # the retransmission of the missing fragment, so drop it
+            # unacknowledged -- the sender's go-back-N machinery
+            # (pull-retries, timeout watchdog) re-sends in order.
+            # Unreachable under stop-and-wait, which never advances past
+            # an unacknowledged fragment.
+            kernel.metrics.counter("chan.ooo_drops").inc()
+            kernel.emit("channel", "channel-ooo-drop", data=endpoint.name,
+                        eid=endpoint.eid, xfer=packet.xfer)
+            if packet.batched:
+                endpoint.owed_pulls += 1
             return
         delivered = False
+        ack_now = True
         if endpoint.reader_event is not None:
             event = endpoint.reader_event
             group = endpoint.read_group
@@ -443,11 +654,24 @@ class ChannelService:
                 event.succeed((endpoint, packet.size, packet.payload))
             delivered = True
         elif len(endpoint.side_buffers) < costs.chan_side_buffers:
-            endpoint.side_buffers.append((packet.size, packet.payload))
+            if packet.batched:
+                # Defer the ack until a reader consumes this buffer:
+                # that read is what frees the sender's window slot, so
+                # the batched window advances at the reader's pace.
+                owed = (packet.xfer, packet.src, packet.src_channel)
+                ack_now = False
+            else:
+                owed = None
+            endpoint.side_buffers.append((packet.size, packet.payload, owed))
             delivered = True
         if not delivered:
             # No buffer space: drop and owe a retransmission request.
-            endpoint.starved_peer = True
+            if packet.batched:
+                # Pulled one-per-read rather than flagged: several
+                # pipelined fragments can be dropped back to back.
+                endpoint.owed_pulls += 1
+            else:
+                endpoint.starved_peer = True
             self._m_naks.inc()
             kernel.emit("channel", "channel-nak", data=endpoint.name,
                         eid=endpoint.eid, size=packet.size)
@@ -458,6 +682,8 @@ class ChannelService:
         endpoint.bytes_received += packet.size
         self._m_frags_received.inc()
         self._m_bytes_received.inc(packet.size)
+        if not ack_now:
+            return
         yield kernel.isr_exec(costs.chan_ack_send)
         # Address the ack with the sender's endpoint id from the data
         # header: our own rendezvous reply may still be in flight, so
@@ -471,6 +697,12 @@ class ChannelService:
             channel=packet.src_channel,
             xfer=packet.xfer,
         )
+        if packet.batched:
+            # A directly-consumed batched fragment plays the same role as
+            # a consuming read: pull one owed retransmission, so gap
+            # recovery proceeds one fragment per round trip even while
+            # the reader stays blocked in read().
+            self._pull_retry(endpoint)
 
     def on_ack(self, packet: Packet):
         """Generator (ISR context): stop-and-wait acknowledgement."""
@@ -484,7 +716,32 @@ class ChannelService:
                         size=packet.size, kind="ack")
             return
         endpoint = self.endpoints.get(packet.channel)
-        if endpoint is None or endpoint.writer_event is None:
+        if endpoint is None:
+            return
+        if endpoint.window:
+            # Batched write in flight: acknowledgements are cumulative.
+            # ``packet.xfer`` retires every window entry up to and
+            # including itself (a lost ack is covered by the next one);
+            # per-fragment counters move here, mirroring the receiver's
+            # per-arrival counting, so cdb's two directions agree.
+            if packet.xfer is None:
+                return
+            window = endpoint.window
+            acked = [xfer for xfer in window if xfer <= packet.xfer]
+            if not acked:
+                return  # stale re-ack for an already-retired fragment
+            for xfer in acked:
+                size, _ = window.pop(xfer)
+                endpoint.messages_sent += 1
+                endpoint.bytes_sent += size
+                self._m_frags_sent.inc()
+                self._m_bytes_sent.inc(size)
+            event = endpoint.writer_event
+            if event is not None and len(window) < endpoint.wake_below:
+                endpoint.writer_event = None
+                event.succeed()
+            return
+        if endpoint.writer_event is None:
             return
         if (
             packet.xfer is not None
@@ -521,7 +778,37 @@ class ChannelService:
                 event.fail(ChannelClosedError(
                     f"channel {endpoint.name!r} closed by peer"
                 ))
-            if endpoint.writer_event is not None:
+            if endpoint.window:
+                # Batched write in flight.  The close acknowledges, like
+                # a cumulative ack, everything the peer delivered before
+                # closing: those fragments succeeded even if their own
+                # acks were lost.
+                window = endpoint.window
+                if packet.xfer is not None:
+                    for xfer in [x for x in sorted(window)
+                                 if x <= packet.xfer]:
+                        size, _ = window.pop(xfer)
+                        endpoint.messages_sent += 1
+                        endpoint.bytes_sent += size
+                        self._m_frags_sent.inc()
+                        self._m_bytes_sent.inc(size)
+                event = endpoint.writer_event
+                if event is not None:
+                    endpoint.writer_event = None
+                    if window:
+                        # Undelivered fragments remain: the write fails.
+                        event.fail(ChannelClosedError(
+                            f"channel {endpoint.name!r} closed by peer"
+                        ))
+                    else:
+                        # Every in-flight fragment was delivered before
+                        # the close.  Wake the writer: mid-write it
+                        # observes ``closed`` at the next fragment and
+                        # raises there; on the final drain it completes.
+                        event.succeed()
+                # A writer mid-charge (not blocked) sees ``closed`` at
+                # its next fragment boundary and raises there.
+            elif endpoint.writer_event is not None:
                 event = endpoint.writer_event
                 endpoint.writer_event = None
                 if (
@@ -539,9 +826,35 @@ class ChannelService:
                         f"channel {endpoint.name!r} closed by peer"
                     ))
         elif packet.payload == CTRL_RETRY:
-            # The receiver dropped our fragment (buffer starvation or
-            # corruption) and wants it again: retransmit the unacked one.
-            if endpoint.unacked is not None:
+            if endpoint.window:
+                # Batched write: re-send the *oldest* unacknowledged
+                # window entry (go-back-N -- the receiver accepts only in
+                # transfer-id order, and each pull requests exactly one
+                # fragment).
+                xfer = min(endpoint.window)
+                size, frag_payload = endpoint.window[xfer]
+                self._m_retransmits.inc()
+                kernel.emit("channel", "channel-retransmit",
+                            data=endpoint.name, eid=endpoint.eid, size=size)
+                yield kernel.isr_exec(
+                    kernel.costs.chan_send_kernel + kernel.costs.copy_time(size)
+                )
+                # The ack may have raced in while we were charging.
+                if xfer in endpoint.window and not endpoint.closed:
+                    kernel.post(
+                        dst=endpoint.peer_addr,
+                        size=size,
+                        kind=MessageKind.CHANNEL_DATA,
+                        channel=endpoint.peer_eid,
+                        src_channel=endpoint.eid,
+                        payload=frag_payload,
+                        xfer=xfer,
+                        batched=True,
+                    )
+            elif endpoint.unacked is not None:
+                # The receiver dropped our fragment (buffer starvation or
+                # corruption) and wants it again: retransmit the unacked
+                # one.
                 size, payload, xfer = endpoint.unacked
                 self._m_retransmits.inc()
                 kernel.emit("channel", "channel-retransmit",
@@ -572,6 +885,46 @@ class ChannelService:
                 channel=endpoint.peer_eid,
                 payload=CTRL_RETRY,
             )
+        self._pull_retry(endpoint)
+
+    def _pull_retry(self, endpoint: ChannelEndpoint) -> None:
+        """Request retransmission of one owed (dropped) batched fragment.
+
+        Decrements :attr:`ChannelEndpoint.owed_pulls` by exactly one per
+        call so the retry rate tracks the consumption rate -- the sender
+        always re-sends its oldest window entry, so one pull heals one
+        fragment of a gap.
+        """
+        if endpoint.owed_pulls <= 0:
+            return
+        if endpoint.peer_addr is None or endpoint.peer_eid is None:
+            return
+        endpoint.owed_pulls -= 1
+        self.kernel.post(
+            dst=endpoint.peer_addr,
+            size=self.kernel.costs.chan_ack_bytes,
+            kind=MessageKind.CHANNEL_CTRL,
+            channel=endpoint.peer_eid,
+            payload=CTRL_RETRY,
+        )
+
+    def _send_owed_ack(self, owed: tuple[int, int, int]):
+        """Generator: send the deferred ack a batched fragment earned.
+
+        Consuming the side buffer is what frees the sender's window
+        slot; the ack is cumulative at the sender, so a lost earlier ack
+        is covered by this one.
+        """
+        kernel = self.kernel
+        xfer, src, src_channel = owed
+        yield kernel.k_exec(kernel.costs.chan_ack_send)
+        kernel.post(
+            dst=src,
+            size=kernel.costs.chan_ack_bytes,
+            kind=MessageKind.CHANNEL_ACK,
+            channel=src_channel,
+            xfer=xfer,
+        )
 
     @staticmethod
     def _require_open(endpoint: ChannelEndpoint) -> None:

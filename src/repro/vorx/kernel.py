@@ -159,6 +159,7 @@ class NodeKernel:
         payload: Any = None,
         src_channel: int = 0,
         xfer: Optional[int] = None,
+        batched: bool = False,
     ) -> "Event":
         """Hand a message to the interface (non-blocking, fire-and-forget).
 
@@ -169,7 +170,7 @@ class NodeKernel:
         packet = Packet(
             src=self.address, dst=dst, size=size, kind=kind,
             channel=channel, src_channel=src_channel, payload=payload,
-            xfer=xfer,
+            xfer=xfer, batched=batched,
         )
         self._m_packets_posted.inc()
         self._m_bytes_posted.inc(size)

@@ -190,6 +190,65 @@ def run_sliding_window(
     )
 
 
+def run_large_write(
+    total_bytes: int = 1_048_576,
+    chunk_bytes: int = 65_536,
+    costs: CostModel = DEFAULT_COSTS,
+) -> StreamResult:
+    """Stream ``total_bytes`` down one channel in large fragmented writes.
+
+    The Section 4 bandwidth scenario: each ``chunk_bytes`` write
+    fragments into many hardware messages, so this is the workload the
+    batched write path (``costs.chan_batch_window > 1``: one syscall,
+    up to ``k`` fragments in flight) exists for.  With the default
+    stop-and-wait costs it measures the same per-fragment overhead as
+    the Table 2 stream; with :meth:`~repro.model.costs.CostModel.batched`
+    costs it measures the amortized large-write path.
+
+    ``elapsed_us`` runs from the first write entering the kernel to the
+    last fragment acknowledged; :attr:`StreamResult.kbytes_per_sec` is
+    then directly comparable with the Table 1 bandwidth column.
+    """
+    if total_bytes < 1 or chunk_bytes < 1:
+        raise ValueError("total_bytes and chunk_bytes must be positive")
+    n_chunks, remainder = divmod(total_bytes, chunk_bytes)
+    if remainder:
+        raise ValueError(
+            f"chunk_bytes ({chunk_bytes}) must divide total_bytes "
+            f"({total_bytes})"
+        )
+    frags_per_chunk = -(-chunk_bytes // costs.hpc_max_message)
+    system = VorxSystem(n_nodes=2, costs=costs)
+    done: dict[str, float] = {}
+
+    def sender(env):
+        ch = yield from env.open("bulk-bench")
+        # Handshake so timing starts with both sides ready.
+        yield from env.read(ch)
+        start = env.now
+        for i in range(n_chunks):
+            yield from env.write(ch, chunk_bytes, payload=i)
+        done["send_elapsed"] = env.now - start
+
+    def receiver(env):
+        ch = yield from env.open("bulk-bench")
+        yield from env.write(ch, 4)
+        for _ in range(n_chunks * frags_per_chunk):
+            yield from env.read(ch)
+
+    tx = system.spawn(0, sender, name="bulk-sender")
+    rx = system.spawn(1, receiver, name="bulk-receiver")
+    system.run_until_complete([tx, rx])
+    return StreamResult(
+        n_messages=n_chunks,
+        message_bytes=chunk_bytes,
+        n_buffers=None,
+        elapsed_us=done["send_elapsed"],
+        vstat=system.sim.vstat,
+        sim=system.sim,
+    )
+
+
 def run_channel_stream(
     message_bytes: int,
     n_messages: int = 1000,

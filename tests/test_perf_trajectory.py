@@ -1,0 +1,95 @@
+"""Tests for scripts/perf_trajectory.py (history append + SVG render)."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+
+import perf_trajectory as traj  # noqa: E402
+
+
+def bench_doc(**events_per_sec):
+    return {
+        "schema": "simcore-bench/v1",
+        "mode": "smoke",
+        "workloads": {
+            name: {"current": {"events_per_sec": value}}
+            for name, value in events_per_sec.items()
+        },
+    }
+
+
+def test_append_round_trips_through_history(tmp_path):
+    bench = tmp_path / "bench.json"
+    history = tmp_path / "hist.jsonl"
+    bench.write_text(json.dumps(bench_doc(pingpong_4b=350_000.0,
+                                          faultstorm=240_000.0)))
+    traj.append_record(bench, history, "abc123")
+    traj.append_record(bench, history, "def456")
+    records = traj.load_history(history)
+    assert [r["label"] for r in records] == ["abc123", "def456"]
+    assert records[0]["events_per_sec"]["pingpong_4b"] == 350_000.0
+    assert records[0]["mode"] == "smoke"
+
+
+def test_append_rejects_wrong_schema(tmp_path):
+    bench = tmp_path / "bench.json"
+    bench.write_text(json.dumps({"schema": "other/v9", "workloads": {}}))
+    with pytest.raises(ValueError, match="schema"):
+        traj.append_record(bench, tmp_path / "hist.jsonl", "x")
+
+
+def test_render_svg_structure(tmp_path):
+    records = [
+        {"label": f"run{i}", "mode": "smoke",
+         "events_per_sec": {"pingpong_4b": 300_000.0 + 10_000 * i,
+                            "large_write_1mb": 180_000.0 + 8_000 * i}}
+        for i in range(4)
+    ]
+    svg = traj.render_svg(records)
+    assert svg.startswith("<svg") and svg.endswith("</svg>")
+    # One polyline and one ringed marker per point per series.
+    assert svg.count("<polyline") == 2
+    assert svg.count("<circle") == 2 * 4 + 2  # markers + end-label dots
+    assert svg.count("<title>") == 2 * 4  # hover tooltip on every marker
+    # Identity relief: legend plus end-of-line labels in text ink.
+    assert svg.count('rx="3"') == 2  # legend swatches
+    assert "pingpong_4b 330,000" in svg
+    # Series colors come from the fixed slot order.
+    assert traj.SERIES_COLORS[0] in svg and traj.SERIES_COLORS[4] in svg
+
+
+def test_render_single_run_draws_markers_only():
+    svg = traj.render_svg([{"label": "only", "mode": "full",
+                            "events_per_sec": {"faultstorm": 240_000.0}}])
+    assert "<polyline" not in svg
+    assert svg.count("<title>") == 1
+
+
+def test_render_empty_history_rejected():
+    with pytest.raises(ValueError, match="empty"):
+        traj.render_svg([])
+
+
+def test_spread_labels_enforces_min_gap():
+    spread = traj.spread_labels([100.0, 104.0, 101.0, 400.0], 14.0, 0.0, 500.0)
+    ordered = sorted(spread)
+    assert all(b - a >= 14.0 for a, b in zip(ordered, ordered[1:]))
+    # Input order is preserved; the well-separated label does not move.
+    assert spread[3] == 400.0
+
+
+def test_nice_ceiling_steps():
+    assert traj.nice_ceiling(370_000) == 500_000
+    assert traj.nice_ceiling(190_000) == 200_000
+    assert traj.nice_ceiling(99) == 100
+    assert traj.nice_ceiling(0) == 1.0
+
+
+def test_fmt_tick():
+    assert traj.fmt_tick(250_000) == "250k"
+    assert traj.fmt_tick(1_500_000) == "1.5M"
+    assert traj.fmt_tick(0) == "0"

@@ -193,6 +193,182 @@ def test_buffered_data_still_readable_after_peer_close():
     assert rx.result == "last words"
 
 
+def test_read_any_rejects_busy_member_after_buffered_hit():
+    """Regression: read_any used to validate endpoints inside the
+    buffered-data scan, so a busy endpoint *later* in the list was
+    silently accepted whenever an earlier endpoint already had data.
+    The whole group must be validated before any side buffer is
+    consumed."""
+    system = VorxSystem(n_nodes=2)
+    outcome = {}
+
+    def receiver(env):
+        ch1 = yield from env.open("rag-a")
+        ch2 = yield from env.open("rag-b")
+
+        def blocker(env2):
+            yield from env2.read(ch2)
+
+        env.spawn(blocker, name="blocker")
+        yield from env.sleep(5_000.0)  # blocker parked; data buffered on ch1
+        try:
+            yield from env.read_any([ch1, ch2])
+        except ChannelBusyError:
+            outcome["read_any"] = "busy"
+            outcome["buffered"] = len(ch1.side_buffers)
+        _, payload = yield from env.read(ch1)
+        outcome["payload"] = payload
+
+    def sender(env):
+        cha = yield from env.open("rag-a")
+        chb = yield from env.open("rag-b")
+        yield from env.write(cha, 16, payload="for-a")
+        yield from env.sleep(10_000.0)
+        yield from env.write(chb, 16, payload="for-b")
+
+    system.spawn(0, sender)
+    system.spawn(1, receiver)
+    system.run()
+    assert outcome == {"read_any": "busy", "buffered": 1, "payload": "for-a"}
+
+
+def test_read_any_rejects_unopened_member_after_buffered_hit():
+    """Same regression, not-open flavour: an endpoint whose rendezvous
+    has not completed must reject the whole call even when an earlier
+    member has buffered data (which must stay unconsumed)."""
+    system = VorxSystem(n_nodes=2)
+    outcome = {}
+
+    def receiver(env):
+        from repro.vorx.channels import ChannelEndpoint
+
+        ch1 = yield from env.open("rgu")
+        fake = ChannelEndpoint(99, "fake", env.subprocess)
+        yield from env.sleep(5_000.0)  # data buffered on ch1
+        try:
+            yield from env.read_any([ch1, fake])
+        except ChannelStateError:
+            outcome["read_any"] = "rejected"
+            outcome["buffered"] = len(ch1.side_buffers)
+        _, payload = yield from env.read(ch1)
+        outcome["payload"] = payload
+
+    def sender(env):
+        ch = yield from env.open("rgu")
+        yield from env.write(ch, 16, payload="kept")
+
+    system.spawn(0, sender)
+    system.spawn(1, receiver)
+    system.run()
+    assert outcome == {"read_any": "rejected", "buffered": 1, "payload": "kept"}
+
+
+def test_close_wakes_blocked_read_any_group():
+    """A peer close must wake a reader blocked in a read_any group with
+    ChannelClosedError, not leave it blocked forever."""
+    from repro.vorx import ChannelClosedError
+
+    system = VorxSystem(n_nodes=2)
+
+    def receiver(env):
+        ch1 = yield from env.open("grp-a")
+        ch2 = yield from env.open("grp-b")
+        try:
+            yield from env.read_any([ch1, ch2])
+        except ChannelClosedError:
+            return "woken-by-close"
+        return "got-data"
+
+    def closer(env):
+        ch1 = yield from env.open("grp-a")
+        ch2 = yield from env.open("grp-b")
+        yield from env.sleep(5_000.0)
+        yield from env.close(ch1)
+        yield from env.close(ch2)
+
+    rx = system.spawn(1, receiver)
+    system.spawn(0, closer)
+    system.run()
+    assert rx.result == "woken-by-close"
+
+
+def test_read_any_all_closed_raises_instead_of_hanging():
+    """A read_any over a group whose every member is closed (and empty)
+    can never complete; it must raise like the plain read does."""
+    from repro.vorx import ChannelClosedError
+
+    system = VorxSystem(n_nodes=2)
+
+    def receiver(env):
+        ch1 = yield from env.open("ac-a")
+        ch2 = yield from env.open("ac-b")
+        yield from env.sleep(10_000.0)  # let both closes arrive
+        try:
+            yield from env.read_any([ch1, ch2])
+        except ChannelClosedError:
+            return "closed"
+        return "got-data"
+
+    def closer(env):
+        ch1 = yield from env.open("ac-a")
+        ch2 = yield from env.open("ac-b")
+        yield from env.close(ch1)
+        yield from env.close(ch2)
+
+    rx = system.spawn(1, receiver)
+    system.spawn(0, closer)
+    system.run()
+    assert rx.result == "closed"
+
+
+def test_counters_not_double_counted_under_retransmission_races():
+    """Satellite audit of the ack-race early return in the retransmit
+    path: when an ack races the watchdog's copy charge, the spurious
+    retransmission is dropped and re-acked by the duplicate filter, and
+    the per-fragment cdb counters on both sides still move exactly once
+    per fragment."""
+    from repro import FaultPlan
+
+    plan = FaultPlan(seed=11, drop=0.25, duplicate=0.25,
+                     channel_retry_timeout_us=1_500.0)
+    system = VorxSystem(n_nodes=2, faults=plan)
+    n_writes, nbytes, frags_each = 8, 3000, 3
+
+    def sender(env):
+        ch = yield from env.open("race")
+        for i in range(n_writes):
+            yield from env.write(ch, nbytes, payload=i)
+        return ch
+
+    def receiver(env):
+        ch = yield from env.open("race")
+        payloads = []
+        for _ in range(n_writes * frags_each):
+            _, payload = yield from env.read(ch)
+            if payload is not None:
+                payloads.append(payload)
+        return ch, payloads
+
+    tx = system.spawn(0, sender)
+    rx = system.spawn(1, receiver)
+    system.run()
+    rx_ch, payloads = rx.result
+    assert payloads == list(range(n_writes))
+    n_frags = n_writes * frags_each
+    assert tx.result.messages_sent == n_frags
+    assert tx.result.bytes_sent == n_writes * nbytes
+    assert rx_ch.messages_received == n_frags
+    assert rx_ch.bytes_received == n_writes * nbytes
+    node0 = system.sim.vstat.registry("node0")
+    node1 = system.sim.vstat.registry("node1")
+    assert node0.value("chan.fragments_sent") == n_frags
+    assert node1.value("chan.fragments_received") == n_frags
+    # The race paths must actually have been exercised by this seed.
+    recovered = (node0.value("chan.timeout_retransmits")
+                 + node1.value("chan.duplicate_drops"))
+    assert recovered > 0
+
+
 def test_stale_data_for_closed_channel_dropped():
     """Messages racing a close are consumed and dropped, not crashed on."""
     system = VorxSystem(n_nodes=2)
