@@ -27,6 +27,11 @@ Workloads
     Channel pairs exchanging messages under a seeded drop/corrupt/
     duplicate fault plan: timeout retransmission, watchdogs and
     duplicate suppression all on (the E19 storm).
+``cancel_churn``
+    Pure engine: watchdog timers cancelled and re-armed on every tick
+    (the ``call_later().cancel()`` retransmission-timer pattern).
+    Exercises the flat queue's push path, lazy cancellation and
+    compaction; almost no scheduled callback ever fires.
 
 Results land in ``BENCH_simcore.json`` at the repo root so future PRs
 have a wall-clock trajectory.  Record the pre-change baseline with
@@ -52,6 +57,7 @@ from pathlib import Path
 
 from repro import FaultPlan, VorxSystem
 from repro.model.costs import CostModel
+from repro.sim import Simulator
 from repro.vorx.sliding_window import run_large_write, run_sliding_window
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -220,6 +226,37 @@ def wl_faultstorm(params: dict) -> dict:
     return _result(system.sim, time.perf_counter() - t0)
 
 
+def wl_cancel_churn(params: dict) -> dict:
+    """Watchdog re-arm churn: the lazy-cancellation hot path.
+
+    ``watchdogs`` concurrent processes each arm a far-future timer,
+    then repeatedly tick forward and re-arm it (cancel + fresh
+    ``call_later``) -- the pattern of a channel retransmission timer
+    that is reset by every acknowledgement.  The armed timers almost
+    never fire, so the queue is dominated by cancelled entries and the
+    engine's compaction policy decides how large it grows.
+    """
+    watchdogs, rearms = params["watchdogs"], params["rearms"]
+    t0 = time.perf_counter()
+    sim = Simulator()
+    fired = []
+
+    def stream(i):
+        armed = sim.call_later(1e9, fired.append, i)
+        for _ in range(rearms):
+            yield sim.timeout(1.0)
+            armed.cancel()
+            armed = sim.call_later(1e9, fired.append, i)
+        armed.cancel()
+
+    for i in range(watchdogs):
+        sim.process(stream(i))
+    sim.run()
+    if fired:  # pragma: no cover - would indicate an engine bug
+        raise RuntimeError("cancelled watchdog fired")
+    return _result(sim, time.perf_counter() - t0)
+
+
 WORKLOADS = {
     "pingpong_4b": {
         "fn": wl_pingpong,
@@ -244,6 +281,12 @@ WORKLOADS = {
         "description": "channel pairs under seeded drop/corrupt/duplicate storm",
         "full": {"pairs": 4, "messages": 60},
         "smoke": {"pairs": 2, "messages": 4},
+    },
+    "cancel_churn": {
+        "fn": wl_cancel_churn,
+        "description": "watchdog cancel/re-arm churn on the engine queue",
+        "full": {"watchdogs": 200, "rearms": 300},
+        "smoke": {"watchdogs": 10, "rearms": 20},
     },
     "large_write_1mb": {
         "fn": wl_large_write,

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.sim.events import Event
+from repro.sim.events import Event, PENDING as _PENDING
 from repro.sim.resources import Store
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -68,8 +68,28 @@ class Link:
 
     def send(self, packet: "Packet") -> Event:
         """Queue ``packet``; the event fires when it is in the downstream buffer."""
-        done = Event(self.sim)
-        self._requests.try_put((packet, done))
+        # ``Event.__init__`` inlined (one request event per message on
+        # the wire) -- mirror of the constructor's five slot stores.
+        sim = self.sim
+        done = Event.__new__(Event)
+        done.sim = sim
+        done.callbacks = []
+        done._value = _PENDING
+        done._ok = None
+        done._defused = False
+        # ``Store.try_put`` on the unbounded request queue, inlined: the
+        # pump is usually parked as a getter, so this is one handoff
+        # (inlined ``succeed``) per message on the wire.
+        requests = self._requests
+        getters = requests._getters
+        if getters:
+            getter = getters.popleft()
+            getter._ok = True
+            getter._value = (packet, done)
+            sim._imm_normal.append((sim._now, sim._seq, getter))
+            sim._seq += 1
+        else:
+            requests._items.append((packet, done))
         return done
 
     @property
@@ -84,13 +104,16 @@ class Link:
         sim = self.sim
         requests = self._requests
         request_items = requests._items  # Store's deque, len() per message
-        queue_depth_set = self._m_queue.set
+        m_queue = self._m_queue
         wire_time = self.costs.hpc_wire_time
         hop_latency = self.costs.hpc_hop_latency
         downstream = self.downstream
-        busy_inc = self._m_busy.inc
-        messages_inc = self._m_messages.inc
-        bytes_inc = self._m_bytes.inc
+        # Metric objects (not their ``inc``/``set`` methods): the pump
+        # updates the counter fields directly -- same observable values,
+        # three fewer Python frames per carried message.
+        m_busy = self._m_busy
+        m_messages = self._m_messages
+        m_bytes = self._m_bytes
         coalesce = self.costs.link_coalesce_wakeups
         credits = downstream.credits
         while True:
@@ -105,18 +128,30 @@ class Link:
                 fused = requests.get_with(credits)
                 if fused is not None:
                     packet, done = yield fused
-                    queue_depth_set(len(request_items))
-                    wire = wire_time(packet.size) + hop_latency
+                    depth = len(request_items)
+                    m_queue.value = depth
+                    if depth > m_queue.max_value:
+                        m_queue.max_value = depth
+                    size = packet.size
+                    wire = wire_time(size) + hop_latency
                     yield sim.timeout(wire)
-                    busy_inc(wire)
-                    messages_inc()
-                    bytes_inc(packet.size)
+                    m_busy.value += wire
+                    m_messages.value += 1.0
+                    m_bytes.value += size
                     packet.hops += 1
                     downstream.deliver(packet)
-                    done.succeed()
+                    # ``Event.succeed`` inlined: the request's done event
+                    # is triggered only here on this path.
+                    done._ok = True
+                    done._value = None
+                    sim._imm_normal.append((sim._now, sim._seq, done))
+                    sim._seq += 1
                     continue
             packet, done = yield requests.get()
-            queue_depth_set(len(request_items))
+            depth = len(request_items)
+            m_queue.value = depth
+            if depth > m_queue.max_value:
+                m_queue.max_value = depth
             injector = sim.faults
             decision = None
             if injector is not None:
@@ -134,7 +169,7 @@ class Link:
                     # immediately, so no buffer is held.
                     wire = wire_time(packet.size) + hop_latency
                     yield sim.timeout(wire)
-                    busy_inc(wire)
+                    m_busy.value += wire
                     done.succeed()
                     continue
                 if decision.corrupt:
@@ -157,12 +192,17 @@ class Link:
                 if stalled > 0:
                     self.metrics.counter("link.reserve_stalls").inc()
                     self.metrics.counter("link.reserve_stall_us").inc(stalled)
-                wire = wire_time(packet.size) + hop_latency
+                size = packet.size
+                wire = wire_time(size) + hop_latency
                 yield sim.timeout(wire)
-                busy_inc(wire)
-                messages_inc()
-                bytes_inc(packet.size)
+                m_busy.value += wire
+                m_messages.value += 1.0
+                m_bytes.value += size
                 packet.hops += 1
                 downstream.deliver(packet)
                 if copy == 0:
-                    done.succeed()
+                    # ``Event.succeed`` inlined, as in the fused path.
+                    done._ok = True
+                    done._value = None
+                    sim._imm_normal.append((sim._now, sim._seq, done))
+                    sim._seq += 1

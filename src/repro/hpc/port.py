@@ -56,10 +56,14 @@ class BufferedInput:
 
     def deliver(self, packet: "Packet") -> None:
         """Place a message in a previously reserved buffer."""
-        if len(self._queue) >= self.capacity:
+        # The Store's deque is read directly here and in ``free``/
+        # ``pending``: these run once per carried message and the
+        # ``len(Store)`` protocol call showed up in engine profiles.
+        queued = len(self._queue._items)
+        if queued >= self.capacity:
             raise RuntimeError(
                 f"{self.name}: delivery without reservation "
-                f"({len(self._queue)} >= {self.capacity})"
+                f"({queued} >= {self.capacity})"
             )
         self._queue.try_put(packet)
         if self.on_deliver is not None:
@@ -76,15 +80,25 @@ class BufferedInput:
 
     def free(self) -> None:
         """Release one buffer back to the credit pool."""
-        if self._credits.value + len(self._queue) >= self.capacity:
+        credits = self._credits
+        value = credits._value
+        if value + len(self._queue._items) >= self.capacity:
             raise RuntimeError(f"{self.name}: freed more buffers than reserved")
-        self._credits.release()
+        # ``Semaphore.release(1)`` inlined (one free per consumed
+        # message).  The drain loop reduces to "wake one waiter or bank
+        # the unit": a positive value and a non-empty waiter queue never
+        # coexist (acquire only banks a waiter when no unit is free).
+        waiters = credits._waiters
+        if waiters:
+            waiters.popleft().succeed()
+        else:
+            credits._value = value + 1
 
     # -- inspection ----------------------------------------------------------
     @property
     def pending(self) -> int:
         """Messages currently buffered."""
-        return len(self._queue)
+        return len(self._queue._items)
 
     @property
     def free_buffers(self) -> int:

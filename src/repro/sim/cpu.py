@@ -22,14 +22,16 @@ owners (charged as SYSTEM time).
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Callable, Optional
 
-from repro.sim.events import Event
+from repro.sim.engine import Handle, _PRIO_STRIDE
+from repro.sim.events import Event, PENDING as _PENDING
 from repro.sim.trace import Category, Timeline
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.sim.engine import Handle, Simulator
+    from repro.sim.engine import Simulator
 
 #: Priority used by interrupt service routines.
 PRIORITY_ISR = 0
@@ -74,8 +76,9 @@ class Job:
         self.internal = internal
 
     def __lt__(self, other: "Job") -> bool:
-        # Scalar compare (no tuple construction): the ready heap calls
-        # this on every push/pop under CPU contention.
+        # The ready heap stores (priority, seq, job) tuples so the C heap
+        # never calls back into Python; this stays for direct comparisons
+        # (sorting job lists in tools/tests).
         priority = self.priority
         other_priority = other.priority
         if priority != other_priority:
@@ -115,12 +118,19 @@ class CPU:
         self.name = name
         self.timeline = Timeline(name)
         self.switch_cost = switch_cost
-        self._ready: list[Job] = []
+        #: Min-heap of (priority, seq, job): scalar tuple keys keep every
+        #: comparison inside the C heap implementation (no Job.__lt__
+        #: callbacks).  (priority, seq) pairs are unique among queued
+        #: jobs, so the Job itself is never compared.
+        self._ready: list[tuple[int, int, Job]] = []
         self._current: Optional[Job] = None
         self._started_at: float = 0.0
         self._end_handle: Optional["Handle"] = None
         self._last_owner: Optional[str] = None
         self._seq = 0
+        # One bound method for every completion handle, instead of
+        # allocating ``self._complete`` fresh on each dispatch.
+        self._complete_cb = self._complete
         #: Count of context switches charged (paper: 80 us each), backed
         #: by this node's vstat registry.
         self._m_switches = sim.vstat.registry(name).counter(
@@ -147,19 +157,44 @@ class CPU:
         """
         if duration < 0:
             raise ValueError(f"negative execution time: {duration}")
-        done = Event(self.sim)
+        # ``Event.__init__`` inlined (one completion event per charge) --
+        # mirror of the constructor's five slot stores.
+        done = Event.__new__(Event)
+        done.sim = self.sim
+        done.callbacks = []
+        done._value = _PENDING
+        done._ok = None
+        done._defused = False
         if duration == 0:
             done.succeed()
             return done
-        job = Job(duration, priority, owner, category, preemptible, done, self._seq)
-        self._seq += 1
-        if self._current is None and not self._ready:
+        # ``Job.__init__`` inlined (one Job per charge, plain slot
+        # stores): this is the busiest allocation site on every node.
+        job = Job.__new__(Job)
+        job.remaining = duration
+        job.priority = priority
+        job.owner = owner
+        job.category = category
+        job.preemptible = preemptible
+        job.done = done
+        seq = self._seq
+        job.seq = seq
+        job.internal = False
+        self._seq = seq + 1
+        ready = self._ready
+        current = self._current
+        if current is None and not ready:
             # Idle CPU, nothing queued: start directly, skipping the
             # ready-heap round trip (the common serialized case).
             self._dispatch_job(job)
         else:
-            heappush(self._ready, job)
-            self._maybe_preempt()
+            # ``_maybe_preempt`` inlined (runs on every contended charge).
+            heappush(ready, (priority, seq, job))
+            if current is None:
+                self._dispatch_job(heappop(ready)[2])
+            elif current.preemptible and ready[0][0] < current.priority:
+                self._suspend_current()
+                self._dispatch_job(heappop(ready)[2])
         return done
 
     @property
@@ -182,17 +217,6 @@ class CPU:
         self.timeline.mark_idle_reason(self.sim.now, reason)
 
     # -- scheduling internals ------------------------------------------------
-    def _maybe_preempt(self) -> None:
-        if self._current is None:
-            self._dispatch()
-            return
-        if not self._ready:
-            return
-        top = self._ready[0]
-        if self._current.preemptible and top.priority < self._current.priority:
-            self._suspend_current()
-            self._dispatch()
-
     def _suspend_current(self) -> None:
         """Preempt the running job, accounting for partial progress."""
         job = self._current
@@ -206,13 +230,8 @@ class CPU:
             timeline.record(self._started_at, now, job.category, job.owner)
         job.remaining = max(0.0, job.remaining - elapsed)
         # Preserve FIFO order among equals: it keeps its original seq.
-        heappush(self._ready, job)
+        heappush(self._ready, (job.priority, job.seq, job))
         self._current = None
-
-    def _dispatch(self) -> None:
-        if self._current is not None or not self._ready:
-            return
-        self._dispatch_job(heappop(self._ready))
 
     def _dispatch_job(self, job: Job) -> None:
         """Start ``job`` (already removed from / never on the ready heap)."""
@@ -228,7 +247,7 @@ class CPU:
             cost = self.switch_cost(self._last_owner, job.owner)
             if cost > 0:
                 # Put the real job back; run a non-preemptible switch first.
-                heappush(self._ready, job)
+                heappush(self._ready, (job.priority, job.seq, job))
                 switch = Job(
                     cost,
                     job.priority,
@@ -243,8 +262,31 @@ class CPU:
                 job = switch
         sim = self.sim
         self._current = job
-        self._started_at = sim._now
-        self._end_handle = sim.call_later(job.remaining, self._complete)
+        now = sim._now
+        self._started_at = now
+        # ``Simulator.call_later`` inlined (one end-of-charge handle per
+        # dispatch): Handle slot stores plus the flat-queue push, as in
+        # the engine's own inline sites.  ``remaining`` is never
+        # negative, so the public negative-delay check is vacuous.
+        delay = job.remaining
+        handle = Handle.__new__(Handle)
+        handle._sim = sim
+        handle.time = now + delay
+        handle.fn = self._complete_cb
+        handle.args = ()
+        handle.cancelled = False
+        seq = sim._seq
+        sim._seq = seq + 1
+        if delay == 0.0:
+            sim._imm_normal.append((now, seq, handle))
+        else:
+            keys = sim._keys
+            key = -(now + delay)
+            pos = bisect_left(keys, key)
+            keys.insert(pos, key)
+            sim._order.insert(pos, _PRIO_STRIDE + seq)
+            sim._items.insert(pos, handle)
+        self._end_handle = handle
 
     def _complete(self) -> None:
         job = self._current
@@ -256,6 +298,17 @@ class CPU:
         self._current = None
         self._end_handle = None
         self._last_owner = job.owner if job.owner is not None else self._last_owner
-        if job.done is not None:
-            job.done.succeed()
-        self._dispatch()
+        done = job.done
+        if done is not None:
+            # ``Event.succeed`` inlined (one completion per charge); a
+            # job's done event is triggered only here, so the
+            # double-trigger guard is vacuous.
+            done._ok = True
+            done._value = None
+            sim = self.sim
+            sim._imm_normal.append((sim._now, sim._seq, done))
+            sim._seq += 1
+        # ``_dispatch`` inlined: every completed charge comes through
+        # here, and ``_complete`` just cleared ``_current``.
+        if self._ready:
+            self._dispatch_job(heappop(self._ready)[2])

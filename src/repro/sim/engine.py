@@ -11,26 +11,51 @@ Fast path: the dominant scheduling operation is triggering an event with
 Those never need the binary heap -- at the moment they are scheduled
 they already sort after everything currently pending at the same
 ``(time, priority)`` -- so they go onto plain FIFO lanes (one per
-priority) and only *delayed* occurrences pay ``heappush``/``heappop``.
-Because simulation time never moves backwards, each lane stays sorted by
+priority) and only *delayed* occurrences pay the heap.  Because
+simulation time never moves backwards, each lane stays sorted by
 ``(time, sequence)`` and a three-way head comparison reproduces the
 exact heap order bit-for-bit (pinned by ``tests/test_determinism.py``).
+
+The delayed-occurrence queue is a *flat parallel-arrays* priority
+queue: scalar lists moved in lockstep instead of a single list of
+``(time, priority, seq, item)`` tuples.  ``_keys`` holds negated times,
+``_order`` the priority and sequence packed into one integer (priority
+times :data:`_PRIO_STRIDE` plus sequence -- lexicographic ``(priority,
+seq)`` order as a single C ``int`` compare), and ``_items`` the payload
+objects.  The arrays are kept sorted by *descending* ``(time, priority,
+seq)`` -- the minimum lives at the end -- so a pop is three O(1)
+``list.pop()`` calls and the head's sort key is readable as two scalar
+loads (no tuple indexing in the drain loop's merge).  Pushes locate
+their slot with one C ``bisect`` over ``_keys``: sequence numbers grow
+monotonically, so a new normal-priority entry always sorts *last* among
+equal ``(time, priority)`` keys, which in the descending layout is the
+leftmost slot of the equal-time run -- exactly where ``bisect_left``
+lands, no tie-break scan.  A hand-rolled parallel-array binary-heap
+sift was benchmarked first and lost by ~3x: interpreted sift loops
+cannot compete with C ``bisect`` + ``memmove`` at realistic queue
+depths (~100-200 pending occurrences).  Lazy-cancel compaction rewrites
+the arrays in place so drain-local bindings stay valid.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import deque
-from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Generator, Optional
 
 from repro.metrics.events import Vstat
-from repro.sim.events import Event, Timeout, NORMAL, URGENT
+from repro.sim.events import Event, Timeout, NORMAL
 
 #: Lazy-cancel compaction trigger: compact the heap when more than half
 #: of it is cancelled handles (and there are enough of them to matter) --
 #: the asyncio approach, keeping queue growth bounded under
 #: ``call_later(...).cancel()`` churn.
 _MIN_CANCELLED_TO_COMPACT = 64
+
+#: Packed-order stride: ``order = priority * _PRIO_STRIDE + seq`` compares
+#: identically to the tuple ``(priority, seq)`` as long as sequence
+#: numbers stay below the stride -- far beyond any reachable run length.
+_PRIO_STRIDE = 1 << 62
 
 _INFINITY = float("inf")
 
@@ -39,7 +64,7 @@ class Handle:
     """A cancellable scheduled callback.
 
     Returned by :meth:`Simulator.call_later`.  Cancellation is lazy: the
-    heap entry stays in place and is skipped when popped, but the
+    queue entry stays in place and is skipped when popped, but the
     simulator counts cancelled entries and compacts the heap when they
     dominate it.
     """
@@ -57,10 +82,22 @@ class Handle:
         self.cancelled = False
 
     def cancel(self) -> None:
-        """Prevent the callback from running (idempotent)."""
+        """Prevent the callback from running (idempotent).
+
+        This is ``Simulator._note_cancelled`` inlined: CPU preemption
+        cancels one completion handle per suspended charge, so the
+        cancel -> count -> maybe-compact path is hot.
+        """
         if not self.cancelled:
             self.cancelled = True
-            self._sim._note_cancelled()
+            sim = self._sim
+            cancelled = sim._cancelled + 1
+            sim._cancelled = cancelled
+            if (
+                cancelled > _MIN_CANCELLED_TO_COMPACT
+                and cancelled * 2 > len(sim._keys)
+            ):
+                sim._compact()
 
     def _process(self) -> None:
         """Run the callback.  Called by the engine (never when cancelled)."""
@@ -80,7 +117,9 @@ class Simulator:
     __slots__ = (
         "_now",
         "_seq",
-        "_queue",
+        "_keys",
+        "_order",
+        "_items",
         "_imm_urgent",
         "_imm_normal",
         "_cancelled",
@@ -92,15 +131,25 @@ class Simulator:
     def __init__(self) -> None:
         self._now: float = 0.0
         self._seq: int = 0
-        #: heap of (time, priority, seq, item) for *delayed* occurrences;
-        #: item is an Event or a Handle.
-        self._queue: list[tuple[float, int, int, Any]] = []
-        #: FIFO lanes of (time, seq, event) for zero-delay occurrences,
+        #: Flat parallel-arrays queue for *delayed* occurrences, sorted by
+        #: descending ``(time, priority, seq)``: entry ``i`` has time
+        #: ``-_keys[i]``, packed priority+sequence ``_order[i]``, and
+        #: payload ``_items[i]`` (an Event or a Handle); the *minimum* is
+        #: the last entry.  All three move in lockstep under
+        #: :meth:`_heap_push`/:meth:`_heap_pop`; compaction rewrites them
+        #: in place (never rebinds) because :meth:`_drain` holds local
+        #: references.
+        self._keys: list[float] = []
+        self._order: list[int] = []
+        self._items: list[Any] = []
+        #: FIFO lanes of (time, seq, item) for zero-delay occurrences,
         #: one per priority level.  Drained ahead of the heap whenever
-        #: their head sorts first.
+        #: their head sorts first.  The normal lane may hold cancelled
+        #: zero-delay :class:`Handle`\\ s (skipped at pop time); the
+        #: urgent lane only ever holds events.
         self._imm_urgent: deque[tuple[float, int, Event]] = deque()
-        self._imm_normal: deque[tuple[float, int, Event]] = deque()
-        #: Cancelled handles still sitting in the heap (lazy cancellation).
+        self._imm_normal: deque[tuple[float, int, Any]] = deque()
+        #: Cancelled handles still sitting in a queue (lazy cancellation).
         self._cancelled: int = 0
         #: Occurrences processed so far (read by ``scripts/perf.py`` to
         #: report events/sec).
@@ -119,6 +168,39 @@ class Simulator:
         """Current simulation time (microseconds)."""
         return self._now
 
+    # -- the flat queue ----------------------------------------------------
+    def _heap_push(self, time: float, prio: int, seq: int, item: Any) -> None:
+        """Insert one entry, moving all arrays in lockstep.
+
+        One C bisect over the negated-time keys finds the slot.  Sequence
+        numbers are handed out monotonically, so among entries with equal
+        ``(time, priority)`` the new one always pops *last* -- which in
+        the descending layout is the leftmost slot of the equal-time run,
+        exactly where ``bisect_left`` lands for a normal-priority push.
+        Urgent pushes (which sort before every normal entry at the same
+        time) walk right past equal-time entries with a greater packed
+        order; no caller schedules a *delayed* urgent occurrence today,
+        so the scan is cold.
+        """
+        keys = self._keys
+        key = -time
+        pos = bisect_left(keys, key)
+        order = prio * _PRIO_STRIDE + seq
+        if prio != NORMAL:
+            orders = self._order
+            n = len(keys)
+            while pos < n and keys[pos] == key and orders[pos] > order:
+                pos += 1
+        keys.insert(pos, key)
+        self._order.insert(pos, order)
+        self._items.insert(pos, item)
+
+    def _heap_pop(self) -> Any:
+        """Remove and return the minimum item: three O(1) end pops."""
+        self._keys.pop()
+        self._order.pop()
+        return self._items.pop()
+
     # -- scheduling ----------------------------------------------------------
     def _schedule_event(self, event: Event, delay: float, priority: int) -> None:
         seq = self._seq
@@ -129,32 +211,80 @@ class Simulator:
                 self._imm_normal.append((self._now, seq, event))
             else:
                 self._imm_urgent.append((self._now, seq, event))
+        elif priority == NORMAL:
+            # :meth:`_heap_push` inlined for the hot delayed case
+            # (``Timeout``): one C bisect plus three C inserts, no extra
+            # Python frame.
+            keys = self._keys
+            key = -(self._now + delay)
+            pos = bisect_left(keys, key)
+            keys.insert(pos, key)
+            self._order.insert(pos, _PRIO_STRIDE + seq)
+            self._items.insert(pos, event)
         else:
-            heappush(self._queue, (self._now + delay, priority, seq, event))
+            self._heap_push(self._now + delay, priority, seq, event)
 
     def call_later(self, delay: float, fn: Callable[..., None], *args: Any) -> Handle:
         """Run ``fn(*args)`` after ``delay``; returns a cancellable handle."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        handle = Handle(self, self._now + delay, fn, args)
-        heappush(self._queue, (handle.time, NORMAL, self._seq, handle))
-        self._seq += 1
+        now = self._now
+        time = now + delay
+        # ``Handle.__init__`` inlined (CPU charge completions create one
+        # handle per dispatch): plain slot stores, no constructor frame.
+        handle = Handle.__new__(Handle)
+        handle._sim = self
+        handle.time = time
+        handle.fn = fn
+        handle.args = args
+        handle.cancelled = False
+        seq = self._seq
+        self._seq = seq + 1
+        if delay == 0.0:
+            # Same immediate lane as zero-delay events: a zero-delay
+            # callback already sorts after everything pending at
+            # ``(now, NORMAL)``, so it needs no heap either.  The lane
+            # pop paths skip it if it is cancelled before it runs.
+            self._imm_normal.append((now, seq, handle))
+        else:
+            # :meth:`_heap_push` inlined, as in :meth:`_schedule_event`.
+            keys = self._keys
+            key = -time
+            pos = bisect_left(keys, key)
+            keys.insert(pos, key)
+            self._order.insert(pos, _PRIO_STRIDE + seq)
+            self._items.insert(pos, handle)
         return handle
 
-    def _note_cancelled(self) -> None:
-        """A heap-resident handle was cancelled; compact if they dominate."""
-        self._cancelled += 1
-        if (
-            self._cancelled > _MIN_CANCELLED_TO_COMPACT
-            and self._cancelled * 2 > len(self._queue)
-        ):
-            # In-place (slice assignment, not rebinding): the drain loop in
-            # :meth:`run` holds a local reference to this list.
-            self._queue[:] = [
-                entry for entry in self._queue if not entry[3].cancelled
-            ]
-            heapify(self._queue)
-            self._cancelled = 0
+    def _compact(self) -> None:
+        """Drop every cancelled entry and recount ``_cancelled`` exactly.
+
+        The three queue arrays are rewritten *in place* (slice
+        assignment, never rebinding) because the drain loop in
+        :meth:`run` holds local references to them.  Filtering preserves
+        the sorted layout, so the pop order of the survivors is
+        unchanged.  The normal immediate lane is purged too: zero-delay
+        handles live there, and leaving cancelled ones uncounted would
+        let ``_cancelled`` drift from reality (going negative defers
+        every future compaction -- see
+        ``test_cancelled_counter_invariant``).
+        """
+        live = [
+            entry
+            for entry in zip(self._keys, self._order, self._items)
+            if not entry[2].cancelled
+        ]
+        self._keys[:] = [entry[0] for entry in live]
+        self._order[:] = [entry[1] for entry in live]
+        self._items[:] = [entry[2] for entry in live]
+        normal = self._imm_normal
+        if normal:
+            kept = [entry for entry in normal if not entry[2].cancelled]
+            if len(kept) != len(normal):
+                normal.clear()
+                normal.extend(kept)
+        # Recount (not decrement): every cancelled entry is gone now.
+        self._cancelled = 0
 
     # -- factories -----------------------------------------------------------
     def event(self) -> Event:
@@ -163,7 +293,32 @@ class Simulator:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event that triggers ``delay`` from now."""
-        return Timeout(self, delay, value)
+        # ``Timeout.__init__`` inlined -- its constructor chain (Event
+        # ctor + ``_schedule_event``) costs three extra frames, and a
+        # timeout is created per wire transfer and watchdog arm.  The
+        # Timeout class itself keeps a working constructor for direct
+        # construction.
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        event = Timeout.__new__(Timeout)
+        event.sim = self
+        event.callbacks = []
+        event._ok = True
+        event._value = value
+        event._defused = False
+        event.delay = delay
+        seq = self._seq
+        self._seq = seq + 1
+        if delay == 0.0:
+            self._imm_normal.append((self._now, seq, event))
+        else:
+            keys = self._keys
+            key = -(self._now + delay)
+            pos = bisect_left(keys, key)
+            keys.insert(pos, key)
+            self._order.insert(pos, _PRIO_STRIDE + seq)
+            self._items.insert(pos, event)
+        return event
 
     def process(self, generator: Generator) -> "Process":
         """Start a new simulated process running ``generator``."""
@@ -172,17 +327,24 @@ class Simulator:
     # -- execution -------------------------------------------------------------
     def peek(self) -> float:
         """Time of the next occurrence, or ``inf`` if the queue is empty."""
-        queue = self._queue
-        while queue and queue[0][3].cancelled:
-            heappop(queue)
-            self._cancelled -= 1
-        time = queue[0][0] if queue else _INFINITY
+        keys = self._keys
+        items = self._items
+        while items and items[-1].cancelled:
+            self._heap_pop()
+            if self._cancelled > 0:
+                self._cancelled -= 1
+        time = -keys[-1] if keys else _INFINITY
         if self._imm_urgent:
             t = self._imm_urgent[0][0]
             if t < time:
                 time = t
-        if self._imm_normal:
-            t = self._imm_normal[0][0]
+        normal = self._imm_normal
+        while normal and normal[0][2].cancelled:
+            normal.popleft()
+            if self._cancelled > 0:
+                self._cancelled -= 1
+        if normal:
+            t = normal[0][0]
             if t < time:
                 time = t
         return time
@@ -192,30 +354,40 @@ class Simulator:
 
         The three lane heads (urgent FIFO, normal FIFO, heap) are
         compared under the global ``(time, priority, seq)`` order; the
-        winner is popped.  Returns ``None`` -- popping nothing -- when
-        the next occurrence lies beyond ``deadline``; raises
-        :class:`EmptySchedule` when nothing is pending at all.
+        winner is popped.  Every branch carries the *full* key forward
+        -- the time plus the packed ``(priority, seq)`` order -- so the
+        merge stays correct no matter which lane is examined first.
+        Returns ``None`` -- popping nothing -- when the next occurrence
+        lies beyond ``deadline``; raises :class:`EmptySchedule` when
+        nothing is pending at all.
         """
-        queue = self._queue
-        while queue and queue[0][3].cancelled:
-            heappop(queue)
-            self._cancelled -= 1
+        items = self._items
+        while items and items[-1].cancelled:
+            self._heap_pop()
+            if self._cancelled > 0:
+                self._cancelled -= 1
         lane = -1
-        if queue:
-            entry = queue[0]
-            best_time, best_prio, best_seq = entry[0], entry[1], entry[2]
+        if items:
+            best_time = -self._keys[-1]
+            best_order = self._order[-1]
             lane = 0
         urgent = self._imm_urgent
         if urgent:
             time, seq, _ = urgent[0]
-            if lane < 0 or (time, URGENT, seq) < (best_time, best_prio, best_seq):
-                best_time, best_prio, best_seq = time, URGENT, seq
+            # URGENT == 0: the packed order of an urgent entry is its seq.
+            if lane < 0 or (time, seq) < (best_time, best_order):
+                best_time, best_order = time, seq
                 lane = 1
         normal = self._imm_normal
+        while normal and normal[0][2].cancelled:
+            normal.popleft()
+            if self._cancelled > 0:
+                self._cancelled -= 1
         if normal:
             time, seq, _ = normal[0]
-            if lane < 0 or (time, NORMAL, seq) < (best_time, best_prio, best_seq):
-                best_time, best_seq = time, seq
+            order = _PRIO_STRIDE + seq  # NORMAL == 1
+            if lane < 0 or (time, order) < (best_time, best_order):
+                best_time, best_order = time, order
                 lane = 2
         if lane < 0:
             raise EmptySchedule()
@@ -227,7 +399,7 @@ class Simulator:
             return normal.popleft()[2]
         if lane == 1:
             return urgent.popleft()[2]
-        return heappop(queue)[3]
+        return self._heap_pop()
 
     def step(self) -> None:
         """Process exactly one occurrence."""
@@ -241,58 +413,69 @@ class Simulator:
         This is :meth:`_pop_next` inlined into the loop with every queue
         bound to a local -- the single hottest function in the repository,
         so it trades a little repetition for one frame (and several
-        attribute loads) less per processed occurrence.
+        attribute loads) less per processed occurrence.  The flat heap's
+        head key is read as two scalar loads; no tuple is built or
+        compared anywhere in the merge (the packed order makes the
+        priority tie-break a single int compare).
         """
-        queue = self._queue
+        keys = self._keys
+        order = self._order
+        items = self._items
         urgent = self._imm_urgent
         normal = self._imm_normal
         urgent_popleft = urgent.popleft
         normal_popleft = normal.popleft
+        # :meth:`_heap_pop` inlined as three bound C pops.  Compaction
+        # rewrites the arrays in place (slice assignment), so these bound
+        # methods keep pointing at the live arrays.
+        keys_pop = keys.pop
+        order_pop = order.pop
+        items_pop = items.pop
+        stride = _PRIO_STRIDE
         processed = 0
         try:
             while True:
                 if stop is not None and stop.callbacks is None:
                     return
-                if queue:
-                    entry = queue[0]
-                    if entry[3].cancelled:
-                        heappop(queue)
-                        self._cancelled -= 1
+                if keys:
+                    if items[-1].cancelled:
+                        keys_pop()
+                        order_pop()
+                        items_pop()
+                        if self._cancelled > 0:
+                            self._cancelled -= 1
                         continue
-                    best_time = entry[0]
-                    best_prio = entry[1]
-                    best_seq = entry[2]
+                    best_time = -keys[-1]
+                    best_order = order[-1]
                     lane = 0
                 else:
                     lane = -1
                 if urgent:
                     head = urgent[0]
                     time = head[0]
+                    # URGENT == 0: packed order of an urgent entry == seq.
                     if (
                         lane < 0
                         or time < best_time
-                        or (
-                            time == best_time
-                            and (best_prio == NORMAL or head[1] < best_seq)
-                        )
+                        or (time == best_time and head[1] < best_order)
                     ):
                         best_time = time
-                        best_prio = URGENT
-                        best_seq = head[1]
+                        best_order = head[1]
                         lane = 1
                 if normal:
                     head = normal[0]
+                    if head[2].cancelled:
+                        # A zero-delay handle cancelled before it ran.
+                        normal_popleft()
+                        if self._cancelled > 0:
+                            self._cancelled -= 1
+                        continue
                     time = head[0]
-                    if (
-                        lane < 0
-                        or time < best_time
-                        or (
-                            time == best_time
-                            and best_prio == NORMAL
-                            and head[1] < best_seq
-                        )
+                    if lane < 0 or time < best_time or (
+                        time == best_time and stride + head[1] < best_order
                     ):
                         best_time = time
+                        best_order = stride + head[1]
                         lane = 2
                 if lane < 0:
                     return
@@ -305,7 +488,9 @@ class Simulator:
                 elif lane == 1:
                     item = urgent_popleft()[2]
                 else:
-                    item = heappop(queue)[3]
+                    keys_pop()
+                    order_pop()
+                    item = items_pop()
                 item._process()
         finally:
             self.processed += processed

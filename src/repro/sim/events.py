@@ -140,9 +140,10 @@ class Event:
 
     # -- engine internals --------------------------------------------------
     def _process(self) -> None:
-        """Run callbacks.  Called by the engine."""
+        """Run callbacks.  Called by the engine (never twice: the queue
+        holds each event at most once, and ``callbacks`` becoming ``None``
+        here is what marks it processed)."""
         callbacks, self.callbacks = self.callbacks, None
-        assert callbacks is not None, "event processed twice"
         for callback in callbacks:
             callback(self)
         if self._ok is False and not self._defused:

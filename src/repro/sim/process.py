@@ -26,7 +26,7 @@ class Process(Event):
     asynchronous interruption (:meth:`interrupt`).
     """
 
-    __slots__ = ("_generator", "_send", "_throw", "_target", "name")
+    __slots__ = ("_generator", "_send", "_throw", "_wake", "_target", "name")
 
     def __init__(
         self, sim: "Simulator", generator: Generator, name: Optional[str] = None
@@ -38,22 +38,39 @@ class Process(Event):
                 f"Process needs a generator, got {type(generator).__name__}: "
                 f"{generator!r} (did you call a plain function?)"
             )
-        super().__init__(sim)
+        # ``Event.__init__`` inlined (a Process *is* an event; one spawn
+        # per ISR burst and per subprocess makes this hot).
+        self.sim = sim
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self._defused = False
         self._generator = generator
         # Bound-method caches: ``_resume`` runs once per wakeup of every
-        # simulated process, so skip the per-call attribute lookups.
+        # simulated process, so skip the per-call attribute lookups --
+        # and ``_wake`` is the one bound-method object registered as the
+        # callback everywhere, instead of allocating ``self._resume``
+        # fresh on every yield.
         self._send = generator.send
         self._throw = generator.throw
+        self._wake = self._resume
         self.name = name or getattr(generator, "__name__", "process")
         #: The event this process is currently waiting on (None if running
         #: or finished).
         self._target: Optional[Event] = None
-        # Kick off at the current time via an initial event.
-        start = Event(sim)
-        start.callbacks.append(self._resume)
+        # Kick off at the current time via an initial event, appended
+        # straight onto the urgent immediate lane (the inlined zero-delay
+        # tail of ``Simulator._schedule_event`` -- one process start per
+        # ISR burst makes this a hot call).  The event constructor is
+        # inlined too (mirror of ``Event.__init__``'s slot stores).
+        start = Event.__new__(Event)
+        start.sim = sim
+        start.callbacks = [self._wake]
         start._ok = True
         start._value = None
-        sim._schedule_event(start, 0.0, URGENT)
+        start._defused = False
+        sim._imm_urgent.append((sim._now, sim._seq, start))
+        sim._seq += 1
 
     # -- state ---------------------------------------------------------------
     @property
@@ -81,12 +98,14 @@ class Process(Event):
                 f"cannot interrupt {self.name!r}: it has not yielded yet"
             )
         # Detach from what it was waiting on, then resume with a failure.
-        interrupt_event = Event(self.sim)
+        sim = self.sim
+        interrupt_event = Event(sim)
         interrupt_event._ok = False
         interrupt_event._value = Interrupt(cause)
         interrupt_event._defused = True
-        interrupt_event.callbacks.append(self._resume)
-        self.sim._schedule_event(interrupt_event, 0.0, URGENT)
+        interrupt_event.callbacks.append(self._wake)
+        sim._imm_urgent.append((sim._now, sim._seq, interrupt_event))
+        sim._seq += 1
 
     # -- engine internals --------------------------------------------------------
     def _resume(self, event: Event) -> None:
@@ -98,11 +117,12 @@ class Process(Event):
                 event.defuse()
             return
         # Detach from the old target so stale triggers are recognisable.
+        wake = self._wake
         target = self._target
         if target is not None and target is not event:
             if target.callbacks is not None:
                 try:
-                    target.callbacks.remove(self._resume)
+                    target.callbacks.remove(wake)
                 except ValueError:
                     pass
         self._target = None
@@ -115,7 +135,13 @@ class Process(Event):
                     event.defuse()
                     next_event = self._throw(event._value)
             except StopIteration as stop:
-                self.succeed(stop.value)
+                # ``succeed`` inlined: ``is_alive`` was checked on entry,
+                # so this process event is still pending here.
+                self._ok = True
+                self._value = stop.value
+                sim = self.sim
+                sim._imm_normal.append((sim._now, sim._seq, self))
+                sim._seq += 1
                 return
             except BaseException as exc:
                 self.fail(exc)
@@ -137,7 +163,7 @@ class Process(Event):
 
             if callbacks is not None:
                 # Still pending (or triggered but unprocessed): register.
-                callbacks.append(self._resume)
+                callbacks.append(wake)
                 self._target = next_event
                 return
             # Already processed -- resume immediately without a queue trip.

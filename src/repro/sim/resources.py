@@ -10,10 +10,19 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Any, Deque, Optional
 
-from repro.sim.events import Event
+from repro.sim.events import Event, PENDING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
+
+# ``Event.__init__`` and the ``succeed`` fast path are inlined below at
+# every per-operation site (acquire/put/get run once or more per carried
+# message; the constructor and trigger frames dominated their cost).
+# The inlined bodies must mirror :class:`Event`: five slot stores to
+# construct, and trigger = set ``_ok``/``_value`` + append to the
+# engine's normal immediate lane.  A freshly constructed event cannot
+# have been triggered, so the double-trigger guard is vacuous here.
+_new_event = Event.__new__
 
 
 class Semaphore:
@@ -43,10 +52,19 @@ class Semaphore:
 
     def acquire(self) -> Event:
         """Request one unit; the returned event fires when granted."""
-        event = Event(self.sim)
+        sim = self.sim
+        event = _new_event(Event)
+        event.sim = sim
+        event.callbacks = []
+        event._value = PENDING
+        event._ok = None
+        event._defused = False
         if self._value > 0 and not self._waiters:
             self._value -= 1
-            event.succeed()
+            event._ok = True
+            event._value = None
+            sim._imm_normal.append((sim._now, sim._seq, event))
+            sim._seq += 1
         else:
             self._waiters.append(event)
         return event
@@ -63,9 +81,17 @@ class Semaphore:
         if units <= 0:
             raise ValueError(f"must release a positive count, got {units}")
         self._value += units
-        while self._value > 0 and self._waiters:
+        waiters = self._waiters
+        while self._value > 0 and waiters:
             self._value -= 1
-            self._waiters.popleft().succeed()
+            # ``succeed`` inlined: a queued waiter is pending by
+            # construction (it is only triggered when popped here).
+            waiter = waiters.popleft()
+            waiter._ok = True
+            waiter._value = None
+            sim = self.sim
+            sim._imm_normal.append((sim._now, sim._seq, waiter))
+            sim._seq += 1
 
 
 class Resource(Semaphore):
@@ -113,25 +139,46 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Enqueue ``item``; the event fires once it is accepted."""
-        event = Event(self.sim)
-        if self._getters:
-            # Hand straight to the oldest waiting getter.
-            self._getters.popleft().succeed(item)
-            event.succeed()
-            return event
-        items = self._items
-        capacity = self.capacity
-        if capacity is None or len(items) < capacity:
-            items.append(item)
-            event.succeed()
+        sim = self.sim
+        event = _new_event(Event)
+        event.sim = sim
+        event.callbacks = []
+        event._value = PENDING
+        event._ok = None
+        event._defused = False
+        getters = self._getters
+        if getters:
+            # Hand straight to the oldest waiting getter (``succeed``
+            # inlined: a queued getter is pending by construction).
+            getter = getters.popleft()
+            getter._ok = True
+            getter._value = item
+            sim._imm_normal.append((sim._now, sim._seq, getter))
+            sim._seq += 1
         else:
-            self._putters.append((event, item))
+            items = self._items
+            capacity = self.capacity
+            if capacity is not None and len(items) >= capacity:
+                self._putters.append((event, item))
+                return event
+            items.append(item)
+        event._ok = True
+        event._value = None
+        sim._imm_normal.append((sim._now, sim._seq, event))
+        sim._seq += 1
         return event
 
     def try_put(self, item: Any) -> bool:
         """Enqueue immediately if there is room (non-blocking)."""
-        if self._getters:
-            self._getters.popleft().succeed(item)
+        getters = self._getters
+        if getters:
+            # ``succeed`` inlined, as in :meth:`put`.
+            getter = getters.popleft()
+            getter._ok = True
+            getter._value = item
+            sim = self.sim
+            sim._imm_normal.append((sim._now, sim._seq, getter))
+            sim._seq += 1
             return True
         items = self._items
         capacity = self.capacity
@@ -142,10 +189,21 @@ class Store:
 
     def get(self) -> Event:
         """Dequeue the oldest item; the event fires with the item."""
-        event = Event(self.sim)
-        if self._items:
-            event.succeed(self._items.popleft())
-            self._admit_putter()
+        sim = self.sim
+        event = _new_event(Event)
+        event.sim = sim
+        event.callbacks = []
+        event._value = PENDING
+        event._ok = None
+        event._defused = False
+        items = self._items
+        if items:
+            event._ok = True
+            event._value = items.popleft()
+            sim._imm_normal.append((sim._now, sim._seq, event))
+            sim._seq += 1
+            if self._putters:
+                self._admit_putter()
         else:
             self._getters.append(event)
         return event
@@ -154,7 +212,8 @@ class Store:
         """``(True, item)`` if an item was available, else ``(False, None)``."""
         if self._items:
             item = self._items.popleft()
-            self._admit_putter()
+            if self._putters:
+                self._admit_putter()
             return True, item
         return False, None
 
@@ -175,9 +234,17 @@ class Store:
         queued waiter always wins over the fused fast path.
         """
         if self._items and semaphore.try_acquire():
-            event = Event(self.sim)
-            event.succeed(self._items.popleft())
-            self._admit_putter()
+            sim = self.sim
+            event = _new_event(Event)
+            event.sim = sim
+            event.callbacks = []
+            event._value = self._items.popleft()
+            event._ok = True
+            event._defused = False
+            sim._imm_normal.append((sim._now, sim._seq, event))
+            sim._seq += 1
+            if self._putters:
+                self._admit_putter()
             return event
         return None
 

@@ -14,6 +14,7 @@ benchmarks and ``scripts/report.py`` all read one stream.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Iterable, Iterator, Optional
@@ -86,9 +87,17 @@ class Timeline:
     marks are appended by the kernel whenever the set of blocked threads
     changes.  Idle intervals are derived as the complement of busy
     segments, subdivided at reason marks.
+
+    Like :class:`~repro.metrics.events.TraceStream`, a timeline can run
+    in ring-buffer mode (:meth:`set_capacity`): only the most recent
+    ``capacity`` busy segments are retained and :attr:`dropped` counts
+    the discarded ones.  Long soak runs use this to watch the *recent*
+    oscilloscope picture without unbounded memory.  Queries then reflect
+    the retained window only -- time before the oldest kept segment
+    reads as idle.
     """
 
-    def __init__(self, name: str = "cpu") -> None:
+    def __init__(self, name: str = "cpu", capacity: Optional[int] = None) -> None:
         self.name = name
         #: Recording gate (same contract as ``TraceStream.enabled``):
         #: benchmarks that do not read the oscilloscope turn it off and
@@ -97,8 +106,15 @@ class Timeline:
         #: Raw (start, end, category, owner) tuples.  One is appended per
         #: CPU charge, so the hot path stores bare tuples; the
         #: :attr:`segments` property materialises :class:`Segment` objects
-        #: for readers.
-        self._segments: list[tuple[float, float, Category, Optional[str]]] = []
+        #: for readers.  A plain list in unbounded mode, a bounded deque
+        #: in ring mode (both support ``append``/``[-1]``/iteration).
+        self._segments: Any = (
+            [] if capacity is None else deque(maxlen=capacity)
+        )
+        #: Ring-buffer size, or ``None`` for unbounded recording.
+        self.capacity: Optional[int] = capacity
+        #: Busy segments discarded by the ring buffer (0 in unbounded mode).
+        self.dropped: int = 0
         #: (time, reason) marks; reason applies until the next mark.
         self._idle_marks: list[tuple[float, Category]] = [(0.0, Category.IDLE_OTHER)]
 
@@ -123,7 +139,27 @@ class Timeline:
                 f"overlapping busy segments on {self.name}: new [{start}, {end}) "
                 f"begins before previous ends at {segments[-1][1]}"
             )
+        capacity = self.capacity
+        if capacity is not None and len(segments) == capacity:
+            self.dropped += 1
         segments.append((start, end, category, owner))
+
+    def set_capacity(self, capacity: Optional[int]) -> None:
+        """Switch between unbounded and ring-buffer (keep last N) mode.
+
+        Existing segments are preserved (the newest ``capacity`` of them
+        when shrinking into ring mode).  Mirrors
+        :meth:`~repro.metrics.events.TraceStream.set_capacity`.
+        """
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        if capacity is None:
+            self._segments = list(self._segments)
+        else:
+            if len(self._segments) > capacity:
+                self.dropped += len(self._segments) - capacity
+            self._segments = deque(self._segments, maxlen=capacity)
+        self.capacity = capacity
 
     def mark_idle_reason(self, time: float, reason: Category) -> None:
         """Record that *subsequent* idle time has the given cause."""

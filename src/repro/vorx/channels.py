@@ -282,9 +282,9 @@ class ChannelService:
             # writes.
             endpoint.messages_sent += 1
             endpoint.bytes_sent += fragment
-            self._m_frags_sent.inc()
-            self._m_bytes_sent.inc(fragment)
-        self._m_writes.inc()
+            self._m_frags_sent.value += 1.0
+            self._m_bytes_sent.value += fragment
+        self._m_writes.value += 1.0
         self._m_write_rtt.observe(kernel.sim.now - started_at)
 
     def _ack_watchdog(self, endpoint: ChannelEndpoint, ack: "Event"):
@@ -680,8 +680,8 @@ class ChannelService:
             endpoint.last_xfer = packet.xfer
         endpoint.messages_received += 1
         endpoint.bytes_received += packet.size
-        self._m_frags_received.inc()
-        self._m_bytes_received.inc(packet.size)
+        self._m_frags_received.value += 1.0
+        self._m_bytes_received.value += packet.size
         if not ack_now:
             return
         yield kernel.isr_exec(costs.chan_ack_send)

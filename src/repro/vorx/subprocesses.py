@@ -19,6 +19,8 @@ from __future__ import annotations
 import enum
 from typing import TYPE_CHECKING, Any, Optional
 
+from repro.sim.cpu import PRIORITY_USER
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.process import Process
     from repro.vorx.kernel import NodeKernel
@@ -73,13 +75,10 @@ class Subprocess:
         self.process: Optional["Process"] = None
         self.uid = f"{kernel.name}.{name}#{Subprocess._next_serial}"
         Subprocess._next_serial += 1
-
-    @property
-    def cpu_priority(self) -> int:
-        """Map subprocess priority onto the CPU's priority space."""
-        from repro.sim.cpu import PRIORITY_USER
-
-        return PRIORITY_USER + self.priority
+        #: Subprocess priority mapped onto the CPU's priority space.
+        #: Precomputed: it is read on every CPU charge and block/wake
+        #: cycle, and ``priority`` is fixed at creation.
+        self.cpu_priority = PRIORITY_USER + priority
 
     @property
     def is_live(self) -> bool:

@@ -162,3 +162,66 @@ def test_timeline_breakdown_sums_to_window(busy, window):
     breakdown = timeline.breakdown(t0, t1)
     assert abs(sum(breakdown.values()) - (t1 - t0)) < 1e-6 * (t1 - t0)
     assert all(v >= -1e-9 for v in breakdown.values())
+
+
+# ---------------------------------------------------------- flat event queue
+@given(entries=st.lists(
+    st.tuples(st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+              st.sampled_from([0, 1])),  # URGENT, NORMAL
+    min_size=1, max_size=80))
+def test_flat_queue_matches_heapq_order(entries):
+    """Differential test: the flat parallel-arrays queue plus the
+    immediate lanes must process occurrences in exactly the order a
+    reference ``heapq`` of ``(time, priority, seq)`` tuples yields."""
+    import heapq
+
+    sim = Simulator()
+    log = []
+    reference = []
+    for seq, (delay, priority) in enumerate(entries):
+        event = sim.event()
+        event._ok = True
+        label = (delay, priority, seq)
+        event.callbacks.append(lambda _e, label=label: log.append(label))
+        sim._schedule_event(event, delay, priority)
+        heapq.heappush(reference, label)
+    expected = [heapq.heappop(reference) for _ in range(len(reference))]
+    sim.run()
+    assert log == expected
+
+
+@given(ops=st.lists(
+    st.tuples(st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+              st.booleans()),
+    min_size=1, max_size=150))
+def test_cancelled_counter_invariant(ops):
+    """``_cancelled`` counts exactly the cancelled entries still queued.
+
+    It must never go negative (an underflow would defer every future
+    compaction) and must reach zero once the queues drain.  Exercises
+    both the heap and the zero-delay immediate lane, with idempotent
+    double-cancels thrown in.
+    """
+    sim = Simulator()
+    fired = []
+    expected = 0
+    for delay, do_cancel in ops:
+        handle = sim.call_later(delay, fired.append, delay)
+        if do_cancel:
+            handle.cancel()
+            handle.cancel()  # idempotent: must not double-count
+        else:
+            expected += 1
+        queued_cancelled = (
+            sum(1 for item in sim._items if item.cancelled)
+            + sum(1 for entry in sim._imm_normal if entry[2].cancelled)
+        )
+        assert sim._cancelled == queued_cancelled
+    sim._compact()
+    assert sim._cancelled == 0
+    assert not any(item.cancelled for item in sim._items)
+    assert not any(entry[2].cancelled for entry in sim._imm_normal)
+    sim.run()
+    assert sim._cancelled == 0
+    assert len(fired) == expected
+    assert fired == sorted(fired)

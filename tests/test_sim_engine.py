@@ -212,9 +212,9 @@ def test_lazy_cancel_churn_keeps_heap_compact():
     peak = 0
     for _ in range(10_000):
         sim.call_later(1_000.0, lambda: None).cancel()
-        peak = max(peak, len(sim._queue))
+        peak = max(peak, len(sim._keys))
     assert peak < 300  # bounded by the >50%-cancelled compaction trigger
-    assert len(sim._queue) < 300
+    assert len(sim._keys) < 300
     sim.run()
     assert fired == [True]  # the live handle survived every compaction
     assert sim.now == 50_000.0
@@ -233,3 +233,111 @@ def test_compaction_preserves_order_among_survivors():
         handle.cancel()  # 300 of 400 cancelled -> compaction has run
     sim.run()
     assert order == [i for i in range(400) if i % 4 == 0]
+
+
+def test_three_lane_merge_orders_by_priority_then_seq():
+    """Urgent lane, normal lane and the heap merge under (time, prio, seq).
+
+    Regression test for a merge bug where the normal-lane comparison
+    carried a stale best-priority forward instead of the full packed
+    key: at equal timestamps a normal-lane head could overtake an
+    urgent occurrence that was examined earlier in the merge.
+    """
+    from repro.sim.events import URGENT
+
+    sim = Simulator()
+    log = []
+
+    def at_ten():
+        # A zero-delay normal occurrence (the immediate lane) ...
+        lane_normal = sim.event()
+        lane_normal.callbacks.append(lambda _e: log.append("lane-normal"))
+        lane_normal.succeed()
+        # ... then an urgent one, scheduled *after* it: despite the
+        # later sequence number it must run first.
+        lane_urgent = sim.event()
+        lane_urgent._ok = True
+        lane_urgent.callbacks.append(lambda _e: log.append("lane-urgent"))
+        sim._schedule_event(lane_urgent, 0.0, URGENT)
+        # Delayed entries landing at the same future instant: normal
+        # scheduled first, urgent second -- the heap must still pop the
+        # urgent one first at t=20.
+        heap_normal_20 = sim.event()
+        heap_normal_20._ok = True
+        heap_normal_20.callbacks.append(lambda _e: log.append("heap-normal-20"))
+        sim._schedule_event(heap_normal_20, 10.0, 1)
+        heap_urgent_20 = sim.event()
+        heap_urgent_20._ok = True
+        heap_urgent_20.callbacks.append(lambda _e: log.append("heap-urgent-20"))
+        sim._schedule_event(heap_urgent_20, 10.0, URGENT)
+
+    sim.call_later(10.0, at_ten)
+    # A delayed normal occurrence already in the heap at t=10, with an
+    # earlier sequence number than anything at_ten creates.
+    sim.call_later(10.0, log.append, "heap-normal")
+    sim.run()
+    assert log == [
+        "lane-urgent",   # URGENT beats both normals at t=10
+        "heap-normal",   # earlier seq than the lane entry
+        "lane-normal",
+        "heap-urgent-20",  # URGENT beats the earlier-seq normal at t=20
+        "heap-normal-20",
+    ]
+
+
+def test_zero_delay_call_later_uses_immediate_lane():
+    sim = Simulator()
+    fired = []
+    sim.call_later(0.0, fired.append, "x")
+    assert not sim._keys  # no heap traffic for a zero-delay callback
+    assert sim._imm_normal
+    sim.run()
+    assert fired == ["x"]
+    assert sim.now == 0.0
+
+
+def test_zero_delay_call_later_interleaves_with_events_in_seq_order():
+    sim = Simulator()
+    log = []
+    first = sim.event()
+    first.callbacks.append(lambda _e: log.append("event"))
+    first.succeed()
+    sim.call_later(0.0, log.append, "handle")
+    second = sim.event()
+    second.callbacks.append(lambda _e: log.append("event-2"))
+    second.succeed()
+    sim.run()
+    assert log == ["event", "handle", "event-2"]
+
+
+def test_zero_delay_call_later_cancelled_is_skipped():
+    sim = Simulator()
+    fired = []
+    doomed = sim.call_later(0.0, fired.append, 1)
+    sim.call_later(0.0, fired.append, 2)
+    doomed.cancel()
+    sim.run()
+    assert fired == [2]
+    assert sim._cancelled == 0  # the skipped pop decremented the count
+
+
+def test_peek_skips_cancelled_zero_delay_handles():
+    sim = Simulator()
+    doomed = sim.call_later(0.0, lambda: None)
+    sim.call_later(5.0, lambda: None)
+    doomed.cancel()
+    assert sim.peek() == 5.0
+
+
+def test_compaction_purges_cancelled_lane_handles_and_recounts():
+    sim = Simulator()
+    doomed = [sim.call_later(0.0, lambda: None) for _ in range(5)]
+    survivor = []
+    sim.call_later(0.0, survivor.append, True)
+    for handle in doomed:
+        handle.cancel()
+    sim._compact()
+    assert sim._cancelled == 0
+    assert len(sim._imm_normal) == 1
+    sim.run()
+    assert survivor == [True]

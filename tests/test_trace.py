@@ -88,3 +88,39 @@ def test_tracelog_counters_and_selection():
     assert log.count("missing") == 0
     assert log.select("recv") == [(3.0, {"from": 2})]
     assert set(log.tags()) == {"send", "recv"}
+
+
+# ---------------------------------------------------------------- ring mode
+def test_timeline_ring_buffer_keeps_recent_segments():
+    timeline = Timeline("cpu", capacity=3)
+    for i in range(5):
+        timeline.record(float(i), float(i) + 0.5, Category.USER)
+    assert timeline.capacity == 3
+    assert timeline.dropped == 2
+    assert [s.start for s in timeline.segments] == [2.0, 3.0, 4.0]
+    # Queries reflect the retained window only.
+    assert timeline.busy_time() == pytest.approx(1.5)
+    assert timeline.end_time == 4.5
+
+
+def test_timeline_set_capacity_shrinks_and_unbounds():
+    timeline = Timeline()
+    for i in range(4):
+        timeline.record(float(i), float(i) + 0.5, Category.SYSTEM)
+    assert timeline.dropped == 0
+    timeline.set_capacity(2)
+    assert timeline.dropped == 2
+    assert [s.start for s in timeline.segments] == [2.0, 3.0]
+    timeline.record(4.0, 4.5, Category.USER)
+    assert timeline.dropped == 3  # ring full: one more discarded
+    timeline.set_capacity(None)
+    timeline.record(5.0, 5.5, Category.USER)
+    assert timeline.capacity is None
+    assert len(timeline.segments) == 3
+    assert timeline.dropped == 3  # unbounded again: no further drops
+
+
+def test_timeline_ring_rejects_bad_capacity():
+    timeline = Timeline()
+    with pytest.raises(ValueError):
+        timeline.set_capacity(0)
