@@ -32,6 +32,13 @@ Workloads
     (the ``call_later().cancel()`` retransmission-timer pattern).
     Exercises the flat queue's push path, lazy cancellation and
     compaction; almost no scheduled callback ever fires.
+``hypercube_1024``
+    Boot the [Katseff 88] incomplete hypercube at 1024 endpoints (256
+    clusters) and drive bounded all-pairs traffic through it, then run
+    the same traffic over the HyperX and 2D-mesh backends for a
+    routing-hops / link-contention comparison.  The engine measurement
+    is the hypercube run; the ``*_hyperx`` / ``*_mesh`` keys ride
+    alongside it.
 
 Results land in ``BENCH_simcore.json`` at the repo root so future PRs
 have a wall-clock trajectory.  Record the pre-change baseline with
@@ -55,7 +62,7 @@ import sys
 import time
 from pathlib import Path
 
-from repro import FaultPlan, VorxSystem
+from repro import FaultPlan, VorxSystem, create_fabric, run_all_pairs
 from repro.model.costs import CostModel
 from repro.sim import Simulator
 from repro.vorx.sliding_window import run_large_write, run_sliding_window
@@ -257,6 +264,48 @@ def wl_cancel_churn(params: dict) -> dict:
     return _result(sim, time.perf_counter() - t0)
 
 
+def wl_hypercube(params: dict) -> dict:
+    """1024-endpoint incomplete hypercube vs HyperX vs 2D mesh.
+
+    The hypercube drive is the engine measurement (it is the paper
+    lineage's topology and the largest fabric the harness boots); the
+    HyperX and mesh runs repeat the identical traffic plan for the
+    hop-count / contention comparison keys.  Extra keys ride alongside
+    the standard measurement keys -- ``validate()`` checks them for
+    this workload via ``_WORKLOAD_EXTRA_KEYS``.
+    """
+    n, partners = params["endpoints"], params["partners"]
+    size = params["message_bytes"]
+    comparison: dict = {}
+    primary = None
+    for topology in ("hypercube", "hyperx", "mesh"):
+        t0 = time.perf_counter()
+        sim = Simulator()
+        _disable_tracing(sim)
+        fabric = create_fabric(topology, sim, CostModel(), n_endpoints=n)
+        traffic = run_all_pairs(fabric, size=size, partners=partners)
+        wall = time.perf_counter() - t0
+        contention = fabric.contention()
+        comparison[f"avg_hops_{topology}"] = round(traffic.avg_hops, 3)
+        comparison[f"max_hops_{topology}"] = traffic.max_hops
+        comparison[f"reserve_stalls_{topology}"] = int(
+            contention["reserve_stalls"]
+        )
+        comparison[f"reserve_stall_us_{topology}"] = round(
+            contention["reserve_stall_us"], 1
+        )
+        if traffic.delivered != traffic.sent:  # pragma: no cover
+            raise RuntimeError(
+                f"{topology}: delivered {traffic.delivered} of "
+                f"{traffic.sent} messages"
+            )
+        if topology == "hypercube":
+            primary = _result(sim, wall)
+            comparison["delivered"] = traffic.delivered
+    primary.update(comparison)
+    return primary
+
+
 WORKLOADS = {
     "pingpong_4b": {
         "fn": wl_pingpong,
@@ -295,6 +344,13 @@ WORKLOADS = {
         "full": {"total_bytes": 1_048_576, "window": 8},
         "smoke": {"total_bytes": 131_072, "window": 8},
     },
+    "hypercube_1024": {
+        "fn": wl_hypercube,
+        "description": "1024-endpoint incomplete hypercube all-pairs "
+                       "traffic vs HyperX and 2D mesh",
+        "full": {"endpoints": 1024, "partners": 4, "message_bytes": 64},
+        "smoke": {"endpoints": 64, "partners": 2, "message_bytes": 64},
+    },
 }
 
 
@@ -307,6 +363,19 @@ _MEASUREMENT_KEYS = {
     "sim_us": (int, float),
     "events_per_sec": (int, float),
     "sim_us_per_wall_s": (int, float),
+}
+
+#: Extra per-workload measurement keys (beyond the engine-rate keys every
+#: workload reports).  Unknown extras are still tolerated; these are the
+#: ones a measurement of the named workload must carry to be useful.
+_WORKLOAD_EXTRA_KEYS: dict[str, dict] = {
+    "hypercube_1024": {
+        f"{metric}_{topology}": (int, float)
+        for topology in ("hypercube", "hyperx", "mesh")
+        for metric in (
+            "avg_hops", "max_hops", "reserve_stalls", "reserve_stall_us",
+        )
+    },
 }
 
 
@@ -329,7 +398,9 @@ def validate(doc: dict) -> list[str]:
             problems.append(f"{name}: needs a baseline or current measurement")
         for slot in slots:
             measurement = entry[slot]
-            for key, types in _MEASUREMENT_KEYS.items():
+            expected = dict(_MEASUREMENT_KEYS)
+            expected.update(_WORKLOAD_EXTRA_KEYS.get(name, {}))
+            for key, types in expected.items():
                 value = measurement.get(key)
                 if not isinstance(value, types) or isinstance(value, bool):
                     problems.append(f"{name}.{slot}.{key}: bad value {value!r}")

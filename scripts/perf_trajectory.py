@@ -33,7 +33,8 @@ from pathlib import Path
 #: go.  Slots 3-5 sit below 3:1 contrast on the light surface, so the
 #: chart carries the relief the validator requires: a legend plus visible
 #: end-of-line labels for every series.
-SERIES_COLORS = ("#2a78d6", "#eb6834", "#1baf7a", "#eda100", "#e87ba4")
+SERIES_COLORS = ("#2a78d6", "#eb6834", "#1baf7a", "#eda100", "#e87ba4",
+                 "#8a6ee6", "#5a8797")
 SURFACE = "#fcfcfb"
 INK_PRIMARY = "#0b0b0b"
 INK_SECONDARY = "#52514e"
@@ -50,6 +51,8 @@ WORKLOAD_SLOTS = (
     "paper_scale_70x10",
     "faultstorm",
     "large_write_1mb",
+    "cancel_churn",
+    "hypercube_1024",
 )
 
 FONT = 'system-ui, -apple-system, "Segoe UI", sans-serif'

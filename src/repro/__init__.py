@@ -36,6 +36,13 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured results of every table and figure.
 """
 
+from repro.fabric import (
+    FabricBackend,
+    available_topologies,
+    create_fabric,
+    run_all_pairs,
+    run_hot_spot,
+)
 from repro.faults import FaultPlan, LinkFaults, fault_summary
 from repro.meglos import MeglosSystem, SnetSystem
 from repro.metrics import MetricsRegistry, Vstat
@@ -73,6 +80,12 @@ __all__ = [
     "SoftwareOscilloscope",
     "Cdb",
     "Vdb",
+    # interconnects
+    "FabricBackend",
+    "available_topologies",
+    "create_fabric",
+    "run_all_pairs",
+    "run_hot_spot",
     # building blocks
     "Simulator",
     "CostModel",

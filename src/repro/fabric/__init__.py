@@ -1,0 +1,35 @@
+"""Interconnect abstraction: backends, registry, and traffic drivers.
+
+See :mod:`repro.fabric.base` for the :class:`FabricBackend` contract,
+:mod:`repro.fabric.registry` for name-based construction, and
+:mod:`repro.fabric.traffic` for the all-pairs / hot-spot drivers.
+
+Quick start::
+
+    from repro.fabric import create_fabric, run_all_pairs
+    from repro.model import DEFAULT_COSTS
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    fabric = create_fabric("hypercube", sim, DEFAULT_COSTS, n_endpoints=1024)
+    result = run_all_pairs(fabric, partners=4)
+    print(result.avg_hops, fabric.contention())
+"""
+
+from repro.fabric.base import FabricBackend
+from repro.fabric.registry import (
+    available_topologies,
+    create_fabric,
+    register_backend,
+)
+from repro.fabric.traffic import TrafficResult, run_all_pairs, run_hot_spot
+
+__all__ = [
+    "FabricBackend",
+    "available_topologies",
+    "create_fabric",
+    "register_backend",
+    "TrafficResult",
+    "run_all_pairs",
+    "run_hot_spot",
+]

@@ -24,7 +24,13 @@ from repro.hpc.port import BufferedInput
 from repro.hpc.link import Link
 from repro.hpc.cluster import Cluster
 from repro.hpc.nic import HPCInterface
-from repro.hpc.topology import Fabric, build_single_cluster, build_hypercube
+from repro.hpc.topology import (
+    Fabric,
+    build_hypercube,
+    build_hyperx,
+    build_mesh2d,
+    build_single_cluster,
+)
 
 __all__ = [
     "Packet",
@@ -36,4 +42,6 @@ __all__ = [
     "Fabric",
     "build_single_cluster",
     "build_hypercube",
+    "build_hyperx",
+    "build_mesh2d",
 ]

@@ -10,10 +10,20 @@ Builders provided:
   for processing nodes (paper Section 1).
 * :func:`build_lam_system` -- a "typical local area multicomputer" as in
   Figure 1: a pool of processing nodes plus host workstations.
+* :func:`build_hyperx` -- clusters as a 2-D HyperX (flattened
+  butterfly): full connectivity along each lattice dimension, diameter
+  two cluster hops, modelling the high-radix-switch alternative.
+* :func:`build_mesh2d` -- clusters as a NoC-style 2-D mesh: four
+  neighbour ports per cluster, many hops but a cheap port budget.
 
 Routing is computed by breadth-first search over the cluster graph with
 deterministic port-order tie-breaking; on hypercubes this reproduces
 dimension-ordered (bit-fixing) routes.
+
+:class:`Fabric` implements the :class:`repro.fabric.base.FabricBackend`
+contract, so anything wired here -- star, hypercube, HyperX, mesh, or a
+hand-built topology -- is drivable by the generic traffic drivers and
+selectable by name through :func:`repro.fabric.create_fabric`.
 """
 
 from __future__ import annotations
@@ -21,6 +31,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Optional
 
+from repro.fabric.base import FabricBackend
 from repro.hpc.cluster import Cluster, PORTS_PER_CLUSTER
 from repro.hpc.link import Link
 from repro.hpc.nic import HPCInterface
@@ -28,10 +39,13 @@ from repro.hpc.nic import HPCInterface
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator
     from repro.model.costs import CostModel
+    from repro.hpc.message import Packet
 
 
-class Fabric:
+class Fabric(FabricBackend):
     """A wired HPC interconnect: clusters, interfaces, and routes."""
+
+    topology_name = "custom"
 
     def __init__(self, sim: "Simulator", costs: "CostModel") -> None:
         self.sim = sim
@@ -140,28 +154,164 @@ class Fabric:
                 # else: unreachable; route_port() raises on use.
 
     # -- inspection ------------------------------------------------------------
+    @property
+    def addresses(self) -> list[int]:
+        """Sorted addresses of every *attached* endpoint.
+
+        An interface created with :meth:`new_interface` but never
+        :meth:`attach`\\ ed has an address and shows up in
+        ``interfaces``, but no cluster port and therefore no routes; it
+        is excluded here and rejected with a diagnostic by the routing
+        queries.
+        """
+        return sorted(self.attachments)
+
     def iface(self, address: int) -> HPCInterface:
         return self.interfaces[address]
 
     def home_cluster(self, address: int) -> Cluster:
+        self._require_attached(address)
         return self.clusters[self.attachments[address][0]]
 
+    def _require_attached(self, address: int) -> None:
+        if address in self.attachments:
+            return
+        if address in self.interfaces:
+            raise ValueError(
+                f"interface {self.interfaces[address].name} (address "
+                f"{address}) was created but never attached to a cluster "
+                f"port; attach it before routing to or from it"
+            )
+        raise ValueError(f"no interface at address {address} on this fabric")
+
     def reachable(self, src: int, dst: int) -> bool:
-        """True if routes exist from src's cluster to dst."""
+        """True if routes exist from src's cluster to dst.
+
+        Both endpoints must be attached; an unattached interface (a
+        ``new_interface`` that never went through :meth:`attach`) is
+        rejected with a diagnostic instead of surfacing as a ``KeyError``
+        deep in the routing tables.
+        """
+        self._require_attached(src)
+        self._require_attached(dst)
         return dst in self.home_cluster(src).routing or (
             self.attachments[src][0] == self.attachments[dst][0]
         )
 
+    def route_hops(self, src: int, dst: int) -> int:
+        """Link traversals on the computed ``src`` -> ``dst`` route.
+
+        Walks the per-cluster routing tables (no packet moves): the
+        entry link, one link per cluster-to-cluster hop, and the exit
+        link.  Raises ``ValueError`` if either endpoint is unattached or
+        no route exists (an incomplete fabric without
+        :meth:`build_routes`, or a partitioned topology).
+        """
+        self._require_attached(src)
+        self._require_attached(dst)
+        if src == dst:
+            return 0
+        home, _ = self.attachments[src]
+        target, _ = self.attachments[dst]
+        hops = 2  # endpoint->cluster entry plus cluster->endpoint exit
+        current = home
+        seen = set()
+        while current != target:
+            if current in seen:  # pragma: no cover - defensive
+                raise ValueError(
+                    f"routing loop at cluster {current} for {src}->{dst}"
+                )
+            seen.add(current)
+            port = self.clusters[current].routing.get(dst)
+            next_cluster = (
+                None if port is None
+                else self._cluster_edges.get((current, port))
+            )
+            if next_cluster is None:
+                raise ValueError(
+                    f"no route from address {src} (cluster {home}) to "
+                    f"address {dst} (cluster {target}); did you call "
+                    f"build_routes() after wiring?"
+                )
+            current = next_cluster
+            hops += 1
+        return hops
+
+    # -- FabricBackend delivery hooks ---------------------------------------
+    def send(self, src: int, packet: "Packet"):
+        """Generator: inject at ``src``; completes when the packet is in
+        the first downstream buffer (hardware flow control -- the HPC
+        never rejects, senders stall instead)."""
+        self._require_attached(src)
+        yield self.interfaces[src].send(packet)
+
+    def recv(self, address: int):
+        """Generator: next packet delivered to ``address``."""
+        self._require_attached(address)
+        packet = yield from self.interfaces[address].recv()
+        return packet
+
     def stats(self) -> dict:
         """Aggregate fabric statistics for reports."""
         return {
+            "topology": self.topology_name,
             "clusters": len(self.clusters),
-            "endpoints": len(self.interfaces),
+            "endpoints": len(self.attachments),
+            "unattached_interfaces": len(self.interfaces)
+            - len(self.attachments),
             "cluster_links": len(self._cluster_edges) // 2,
             "messages_forwarded": sum(c.messages_forwarded for c in self.clusters),
             "port_utilisation": {
                 c.cluster_id: len(c.wired_ports()) for c in self.clusters
             },
+        }
+
+    def _links(self):
+        for cluster in self.clusters:
+            for link in cluster.out_links:
+                if link is not None:
+                    yield link
+        for address in self.attachments:
+            link = self.interfaces[address].link
+            if link is not None:
+                yield link
+
+    def contention(self) -> dict:
+        """Hardware flow-control pressure summed over every link.
+
+        ``reserve_stalls`` counts transmissions that had to wait for a
+        downstream whole-message buffer (Section 2's hardware flow
+        control); ``reserve_stall_us`` is the time spent waiting.  The
+        HPC never rejects a message, so ``rejections``/``retries`` are
+        structurally zero -- reported anyway to keep the shape uniform
+        with the S/NET backend.
+        """
+        stalls = 0
+        stall_us = 0.0
+        busy_us = 0.0
+        max_queue = 0
+        n_links = 0
+        for link in self._links():
+            n_links += 1
+            counter = link.metrics.get("link.reserve_stalls")
+            if counter is not None:
+                stalls += int(counter.value)
+            counter = link.metrics.get("link.reserve_stall_us")
+            if counter is not None:
+                stall_us += counter.value
+            busy_us += link.busy_time
+            gauge = link.metrics.get("link.queue_depth")
+            if gauge is not None:
+                max_queue = max(max_queue, int(gauge.max_value))
+        return {
+            "mode": "hardware-credits",
+            "reserve_stalls": stalls,
+            "reserve_stall_us": stall_us,
+            "rejections": 0,
+            "retries": 0,
+            "links": n_links,
+            "link_busy_us": busy_us,
+            "max_queue_depth": max_queue,
         }
 
 
@@ -178,6 +328,7 @@ def build_single_cluster(
             f"got {n_endpoints}"
         )
     fabric = Fabric(sim, costs)
+    fabric.topology_name = "star"
     cluster = fabric.add_cluster()
     for port in range(n_endpoints):
         fabric.attach(cluster, port, fabric.new_interface(f"node{port}"))
@@ -195,17 +346,62 @@ def hypercube_dimensions(n_clusters: int) -> int:
     return dims
 
 
+def _attach_endpoints(
+    fabric: Fabric,
+    n_clusters: int,
+    nodes_per_cluster: int,
+    first_node_port: int,
+    n_endpoints: Optional[int],
+    what: str,
+) -> None:
+    """Attach endpoints cluster-major onto the node ports.
+
+    ``n_endpoints=None`` fills every node port (the historical
+    behaviour); an explicit count occupies the first ``n_endpoints``
+    slots and raises a capacity error -- with the arithmetic spelled out
+    -- when the request exceeds the available node ports.
+    """
+    capacity = n_clusters * nodes_per_cluster
+    if n_endpoints is None:
+        n_endpoints = capacity
+    elif n_endpoints > capacity:
+        raise ValueError(
+            f"requested {n_endpoints} endpoints but {what} has only "
+            f"{n_clusters} clusters x {nodes_per_cluster} node ports = "
+            f"{capacity} endpoint slots; add clusters or raise "
+            f"nodes_per_cluster"
+        )
+    elif n_endpoints < 1:
+        raise ValueError(f"need at least one endpoint, got {n_endpoints}")
+    for k in range(n_endpoints):
+        cid, slot = divmod(k, nodes_per_cluster)
+        iface = fabric.new_interface(f"node{cid}.{slot}")
+        fabric.attach(fabric.clusters[cid], first_node_port + slot, iface)
+
+
 def build_hypercube(
     sim: "Simulator",
     costs: "CostModel",
     n_clusters: int,
     nodes_per_cluster: int,
+    n_endpoints: Optional[int] = None,
 ) -> Fabric:
     """Clusters as a (possibly incomplete) hypercube [Katseff 88].
 
     Dimension *k* uses cluster port *k*; node ports follow.  The paper's
     1024-node configuration is ``build_hypercube(sim, costs, 256, 4)``:
     8 dimension ports + 4 node ports per cluster.
+
+    Incomplete hypercubes (``n_clusters`` not a power of two) stay fully
+    routable: the vertex set is the contiguous range ``0..n_clusters-1``,
+    and clearing the top set bit of any vertex yields a smaller vertex
+    that is present, so every cluster has a path to cluster 0 and BFS
+    reaches everything (pinned by the all-pairs sweep in
+    ``tests/test_fabric_backends.py``).
+
+    ``n_endpoints`` attaches only that many endpoints (cluster-major);
+    requesting more than ``n_clusters * nodes_per_cluster`` raises a
+    capacity error instead of failing on a missing port.
     """
     dims = hypercube_dimensions(n_clusters)
     if dims + nodes_per_cluster > PORTS_PER_CLUSTER:
@@ -214,6 +410,7 @@ def build_hypercube(
             f"the {PORTS_PER_CLUSTER}-port cluster"
         )
     fabric = Fabric(sim, costs)
+    fabric.topology_name = "hypercube"
     for _ in range(n_clusters):
         fabric.add_cluster()
     for cid in range(n_clusters):
@@ -224,10 +421,118 @@ def build_hypercube(
             fabric.connect_clusters(
                 fabric.clusters[cid], dim, fabric.clusters[neighbour], dim
             )
-    for cid in range(n_clusters):
-        for j in range(nodes_per_cluster):
-            iface = fabric.new_interface(f"node{cid}.{j}")
-            fabric.attach(fabric.clusters[cid], dims + j, iface)
+    _attach_endpoints(
+        fabric, n_clusters, nodes_per_cluster, dims, n_endpoints,
+        f"a {dims}-dimensional hypercube",
+    )
+    fabric.build_routes()
+    return fabric
+
+
+def build_hyperx(
+    sim: "Simulator",
+    costs: "CostModel",
+    shape: tuple[int, int],
+    nodes_per_cluster: int,
+    n_endpoints: Optional[int] = None,
+) -> Fabric:
+    """Clusters as a 2-D HyperX (flattened butterfly).
+
+    Clusters sit on an ``s1 x s2`` lattice with *full* connectivity
+    along each dimension: cluster ``(x, y)`` links directly to every
+    ``(x', y)`` and every ``(x, y')``.  Any pair is at most two cluster
+    hops apart, at the price of high-radix clusters -- ``(s1-1) +
+    (s2-1) + nodes_per_cluster`` ports each, beyond the HPC's physical
+    twelve for large lattices.  The builder allows that deliberately:
+    HyperX models the "what if we had high-radix switches" alternative
+    the interconnect literature compares against, and
+    :class:`~repro.hpc.cluster.Cluster` parameterises its port count.
+    """
+    s1, s2 = shape
+    if s1 < 1 or s2 < 1:
+        raise ValueError(f"HyperX shape must be positive, got {shape}")
+    radix = (s1 - 1) + (s2 - 1) + nodes_per_cluster
+    fabric = Fabric(sim, costs)
+    fabric.topology_name = "hyperx"
+    for _ in range(s1 * s2):
+        fabric.add_cluster(n_ports=radix)
+    dim_ports = (s1 - 1) + (s2 - 1)
+
+    def cid(x: int, y: int) -> int:
+        return x * s2 + y
+
+    # Dimension 0 (varying x): ports 0..s1-2, ordered by peer coordinate
+    # skipping self; dimension 1 (varying y): ports s1-1..dim_ports-1.
+    for y in range(s2):
+        for x in range(s1):
+            for peer in range(x + 1, s1):
+                fabric.connect_clusters(
+                    fabric.clusters[cid(x, y)], peer - 1,
+                    fabric.clusters[cid(peer, y)], x,
+                )
+    for x in range(s1):
+        for y in range(s2):
+            for peer in range(y + 1, s2):
+                fabric.connect_clusters(
+                    fabric.clusters[cid(x, y)], (s1 - 1) + peer - 1,
+                    fabric.clusters[cid(x, peer)], (s1 - 1) + y,
+                )
+    _attach_endpoints(
+        fabric, s1 * s2, nodes_per_cluster, dim_ports, n_endpoints,
+        f"a {s1}x{s2} HyperX",
+    )
+    fabric.build_routes()
+    return fabric
+
+
+def build_mesh2d(
+    sim: "Simulator",
+    costs: "CostModel",
+    shape: tuple[int, int],
+    nodes_per_cluster: int,
+    n_endpoints: Optional[int] = None,
+) -> Fabric:
+    """Clusters as a NoC-style 2-D mesh.
+
+    Cluster ``(x, y)`` links only to its four lattice neighbours (ports
+    0..3 = north, east, south, west), so the port budget is constant --
+    ``4 + nodes_per_cluster`` fits the physical twelve-port cluster for
+    up to eight endpoints each -- but routes grow with Manhattan
+    distance, the opposite trade from :func:`build_hyperx`.
+    """
+    width, height = shape
+    if width < 1 or height < 1:
+        raise ValueError(f"mesh shape must be positive, got {shape}")
+    if 4 + nodes_per_cluster > PORTS_PER_CLUSTER:
+        raise ValueError(
+            f"4 neighbour ports + {nodes_per_cluster} node ports exceed "
+            f"the {PORTS_PER_CLUSTER}-port cluster"
+        )
+    fabric = Fabric(sim, costs)
+    fabric.topology_name = "mesh"
+    for _ in range(width * height):
+        fabric.add_cluster()
+    north, east, south, west = 0, 1, 2, 3
+
+    def cid(x: int, y: int) -> int:
+        return x * height + y
+
+    for x in range(width):
+        for y in range(height):
+            if x + 1 < width:
+                fabric.connect_clusters(
+                    fabric.clusters[cid(x, y)], east,
+                    fabric.clusters[cid(x + 1, y)], west,
+                )
+            if y + 1 < height:
+                fabric.connect_clusters(
+                    fabric.clusters[cid(x, y)], south,
+                    fabric.clusters[cid(x, y + 1)], north,
+                )
+    _attach_endpoints(
+        fabric, width * height, nodes_per_cluster, 4, n_endpoints,
+        f"a {width}x{height} mesh",
+    )
     fabric.build_routes()
     return fabric
 
@@ -257,6 +562,7 @@ def build_lam_system(
             f"{dims} hypercube dimensions"
         )
     fabric = Fabric(sim, costs)
+    fabric.topology_name = "hypercube"
     for _ in range(n_clusters):
         fabric.add_cluster()
     for cid in range(n_clusters):

@@ -28,7 +28,6 @@ from repro.meglos.flowcontrol import (
 from repro.sim.cpu import CPU, PRIORITY_ISR, PRIORITY_KERNEL
 from repro.sim.resources import Store
 from repro.sim.trace import Category, TraceLog
-from repro.snet.bus import SNetBus
 from repro.snet.nic import SNetInterface
 from repro.vorx.subprocesses import BlockReason, Subprocess, SubprocessState
 
@@ -406,6 +405,7 @@ class MeglosSystem:
         *,
         recovery: str = "busy-retransmit",
         seed: int = 1990,
+        fabric: str = "snet",
         faults=None,
     ):
         """Build the machine.
@@ -414,9 +414,14 @@ class MeglosSystem:
         node's sends default to: ``"busy-retransmit"`` (alias
         ``"naive"`` -- the original scheme, livelocks under many-to-one
         bursts), ``"random-backoff"``, or ``"reservation"``.  ``seed``
-        makes the backoff schedules reproducible.  ``faults`` optionally
-        attaches a :class:`repro.faults.FaultPlan`.
+        makes the backoff schedules reproducible.  ``fabric`` selects the
+        interconnect through the :mod:`repro.fabric` registry; Meglos
+        drove the S/NET bus and nothing else, so only ``"snet"`` is
+        legal -- the HPC topology names raise with a pointer to
+        :class:`VorxSystem <repro.vorx.system.VorxSystem>`.  ``faults``
+        optionally attaches a :class:`repro.faults.FaultPlan`.
         """
+        from repro.fabric.registry import available_topologies, create_fabric
         from repro.model.costs import DEFAULT_COSTS
         from repro.sim.engine import Simulator as _Sim
 
@@ -434,15 +439,31 @@ class MeglosSystem:
                 f"MeglosSystem(recovery=...) must be one of {POLICIES}, "
                 f"got {recovery!r}"
             )
+        if fabric != "snet":
+            if fabric in available_topologies():
+                raise ValueError(
+                    f"Meglos drove the S/NET bus, not the {fabric!r} "
+                    f"fabric; use VorxSystem(topology={fabric!r}) for HPC "
+                    f"interconnects"
+                )
+            raise ValueError(
+                f"unknown fabric {fabric!r}; available: "
+                f"{', '.join(available_topologies())}"
+            )
         self.sim = sim or _Sim()
         self.costs = costs or DEFAULT_COSTS
         self.recovery = recovery
-        self.bus = SNetBus(self.sim, self.costs)
+        # The backend owns the bus and the per-processor interfaces;
+        # Meglos installs its own ISR on each interface (install_rx=False
+        # keeps the backend's generic receive drain out of the way).
+        self.fabric = create_fabric(
+            fabric, self.sim, self.costs, n_endpoints=n_nodes,
+            install_rx=False,
+        )
+        self.bus = self.fabric.bus
         self.nodes: list[MeglosNode] = []
         for i in range(n_nodes):
-            iface = SNetInterface(self.sim, self.costs, self.bus, address=i)
-            self.bus.register(iface)
-            node = MeglosNode(self.sim, self.costs, iface, f"m{i}")
+            node = MeglosNode(self.sim, self.costs, self.fabric.iface(i), f"m{i}")
             node.strategy_factory = (
                 lambda addr=i: make_strategy(recovery, addr, seed)
             )

@@ -26,7 +26,7 @@ from bisect import bisect_left
 from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Callable, Optional
 
-from repro.sim.engine import Handle, _PRIO_STRIDE
+from repro.sim.engine import Handle, _FAR_LANE_MIN, _PRIO_STRIDE
 from repro.sim.events import Event, PENDING as _PENDING
 from repro.sim.trace import Category, Timeline
 
@@ -281,11 +281,29 @@ class CPU:
             sim._imm_normal.append((now, seq, handle))
         else:
             keys = sim._keys
-            key = -(now + delay)
-            pos = bisect_left(keys, key)
-            keys.insert(pos, key)
-            sim._order.insert(pos, _PRIO_STRIDE + seq)
-            sim._items.insert(pos, handle)
+            time = now + delay
+            key = -time
+            if keys:
+                far_keys = sim._far_keys
+                if key > keys[0] or (
+                    not far_keys and len(keys) < _FAR_LANE_MIN
+                ):
+                    pos = bisect_left(keys, key)
+                    keys.insert(pos, key)
+                    sim._order.insert(pos, _PRIO_STRIDE + seq)
+                    sim._items.insert(pos, handle)
+                elif not far_keys or time >= far_keys[-1]:
+                    far_keys.append(time)
+                    sim._far_order.append(_PRIO_STRIDE + seq)
+                    sim._far_items.append(handle)
+                else:
+                    sim._push_far(time, _PRIO_STRIDE + seq, handle)
+            elif sim._far_keys:
+                sim._push_far(time, _PRIO_STRIDE + seq, handle)
+            else:
+                keys.append(key)
+                sim._order.append(_PRIO_STRIDE + seq)
+                sim._items.append(handle)
         self._end_handle = handle
 
     def _complete(self) -> None:

@@ -35,11 +35,24 @@ sift was benchmarked first and lost by ~3x: interpreted sift loops
 cannot compete with C ``bisect`` + ``memmove`` at realistic queue
 depths (~100-200 pending occurrences).  Lazy-cancel compaction rewrites
 the arrays in place so drain-local bindings stay valid.
+
+The descending layout makes *near-term* pushes cheap (they land near
+the end, a short memmove) but *far-future* pushes expensive: a new
+global-maximum time lands at index 0 and memmoves all three arrays.
+That is exactly the retransmission-watchdog pattern (``call_later`` a
+long way out, ``cancel()`` on every ack), so entries scheduled at or
+beyond the current maximum go to a separate **far lane** instead: three
+parallel arrays sorted *ascending*, where a monotonically later arm is
+three O(1) ``append`` calls.  The invariant is that every far entry
+sorts strictly after every main entry in the global ``(time, priority,
+seq)`` order, so the main arrays always hold the minimum; whenever the
+main arrays empty (or a delayed urgent push would violate the
+invariant) the far lane is spliced back in one O(k) reversal.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right
 from collections import deque
 from typing import Any, Callable, Generator, Optional
 
@@ -56,6 +69,13 @@ _MIN_CANCELLED_TO_COMPACT = 64
 #: identically to the tuple ``(priority, seq)`` as long as sequence
 #: numbers stay below the stride -- far beyond any reachable run length.
 _PRIO_STRIDE = 1 << 62
+
+#: Main-queue size at which a push at/past the current maximum time
+#: starts using the far lane.  Below this an index-0 insert's memmove is
+#: cheaper than the far lane's append/merge bookkeeping (a tiny C
+#: memmove beats the extra Python branches); above it the O(n) memmove
+#: per push dominates and the far lane's O(1) appends win.
+_FAR_LANE_MIN = 128
 
 _INFINITY = float("inf")
 
@@ -95,7 +115,7 @@ class Handle:
             sim._cancelled = cancelled
             if (
                 cancelled > _MIN_CANCELLED_TO_COMPACT
-                and cancelled * 2 > len(sim._keys)
+                and cancelled * 2 > len(sim._keys) + len(sim._far_keys)
             ):
                 sim._compact()
 
@@ -120,6 +140,9 @@ class Simulator:
         "_keys",
         "_order",
         "_items",
+        "_far_keys",
+        "_far_order",
+        "_far_items",
         "_imm_urgent",
         "_imm_normal",
         "_cancelled",
@@ -142,6 +165,16 @@ class Simulator:
         self._keys: list[float] = []
         self._order: list[int] = []
         self._items: list[Any] = []
+        #: The far lane: delayed normal-priority occurrences scheduled at
+        #: or beyond the main arrays' maximum time.  Sorted *ascending* by
+        #: ``(time, seq)`` with times stored un-negated, so the common
+        #: monotone far-future arm (watchdog rearm) is three O(1) appends
+        #: instead of an ``insert(0)`` memmove of the whole main queue.
+        #: Invariant: every far entry sorts after every main entry in the
+        #: global ``(time, priority, seq)`` order (see :meth:`_merge_far`).
+        self._far_keys: list[float] = []
+        self._far_order: list[int] = []
+        self._far_items: list[Any] = []
         #: FIFO lanes of (time, seq, item) for zero-delay occurrences,
         #: one per priority level.  Drained ahead of the heap whenever
         #: their head sorts first.  The normal lane may hold cancelled
@@ -181,7 +214,16 @@ class Simulator:
         time) walk right past equal-time entries with a greater packed
         order; no caller schedules a *delayed* urgent occurrence today,
         so the scan is cold.
+
+        An urgent push at or beyond the far lane's minimum time would
+        break the far invariant (an urgent entry at time ``t`` sorts
+        *before* a normal far entry at the same ``t``), so the far lane
+        is folded back into the main arrays first.  Cold for the same
+        reason the tie-break scan is.
         """
+        far_keys = self._far_keys
+        if far_keys and time >= far_keys[0]:
+            self._merge_far()
         keys = self._keys
         key = -time
         pos = bisect_left(keys, key)
@@ -201,6 +243,63 @@ class Simulator:
         self._order.pop()
         return self._items.pop()
 
+    def _push_far(self, time: float, order: int, item: Any) -> None:
+        """Slow-path insert for a normal delayed entry at/past the main max.
+
+        Called by the inlined push sites when ``-time <= _keys[0]`` (the
+        entry would land at index 0 of the main arrays, the worst-case
+        memmove) or when the main arrays are empty.  A new entry whose
+        time is at least the far maximum -- the monotone watchdog-rearm
+        pattern this lane exists for -- is three O(1) appends; anything
+        earlier takes one bisect over the (much shorter) far lane.
+        Sequence monotonicity makes ``bisect_right`` exact for ties, the
+        mirror of the ``bisect_left`` argument on the descending main
+        arrays.
+        """
+        far_keys = self._far_keys
+        if self._keys:
+            if not far_keys or time >= far_keys[-1]:
+                far_keys.append(time)
+                self._far_order.append(order)
+                self._far_items.append(item)
+            else:
+                pos = bisect_right(far_keys, time)
+                far_keys.insert(pos, time)
+                self._far_order.insert(pos, order)
+                self._far_items.insert(pos, item)
+            return
+        # Main arrays empty: nothing to memmove, so fold any far backlog
+        # back in and insert normally -- keeps the invariant that the
+        # main arrays hold the global minimum whenever they are nonempty.
+        if far_keys:
+            self._merge_far()
+        keys = self._keys
+        key = -time
+        pos = bisect_left(keys, key)
+        keys.insert(pos, key)
+        self._order.insert(pos, order)
+        self._items.insert(pos, item)
+
+    def _merge_far(self) -> None:
+        """Splice the far lane back into the main arrays, in place.
+
+        Every far entry sorts after every main entry (the lane's
+        invariant), so no element-wise merge is needed: the far lane
+        reversed is exactly the descending prefix of the combined queue.
+        The main arrays are extended via slice assignment (never rebound)
+        because :meth:`_drain` holds local references to them.
+        """
+        far_keys = self._far_keys
+        far_keys.reverse()
+        self._far_order.reverse()
+        self._far_items.reverse()
+        self._keys[:0] = [-t for t in far_keys]
+        self._order[:0] = self._far_order
+        self._items[:0] = self._far_items
+        del far_keys[:]
+        del self._far_order[:]
+        del self._far_items[:]
+
     # -- scheduling ----------------------------------------------------------
     def _schedule_event(self, event: Event, delay: float, priority: int) -> None:
         seq = self._seq
@@ -214,13 +313,35 @@ class Simulator:
         elif priority == NORMAL:
             # :meth:`_heap_push` inlined for the hot delayed case
             # (``Timeout``): one C bisect plus three C inserts, no extra
-            # Python frame.
+            # Python frame.  Entries at or beyond the current maximum
+            # time (``key <= keys[0]``) would memmove the whole queue,
+            # so once the queue is ``_FAR_LANE_MIN`` deep they take the
+            # far lane; the dominant far case (in-order append) is
+            # inlined too, only the rare shapes pay the method call.
             keys = self._keys
-            key = -(self._now + delay)
-            pos = bisect_left(keys, key)
-            keys.insert(pos, key)
-            self._order.insert(pos, _PRIO_STRIDE + seq)
-            self._items.insert(pos, event)
+            time = self._now + delay
+            key = -time
+            if keys:
+                far_keys = self._far_keys
+                if key > keys[0] or (
+                    not far_keys and len(keys) < _FAR_LANE_MIN
+                ):
+                    pos = bisect_left(keys, key)
+                    keys.insert(pos, key)
+                    self._order.insert(pos, _PRIO_STRIDE + seq)
+                    self._items.insert(pos, event)
+                elif not far_keys or time >= far_keys[-1]:
+                    far_keys.append(time)
+                    self._far_order.append(_PRIO_STRIDE + seq)
+                    self._far_items.append(event)
+                else:
+                    self._push_far(time, _PRIO_STRIDE + seq, event)
+            elif self._far_keys:
+                self._push_far(time, _PRIO_STRIDE + seq, event)
+            else:
+                keys.append(key)
+                self._order.append(_PRIO_STRIDE + seq)
+                self._items.append(event)
         else:
             self._heap_push(self._now + delay, priority, seq, event)
 
@@ -248,12 +369,31 @@ class Simulator:
             self._imm_normal.append((now, seq, handle))
         else:
             # :meth:`_heap_push` inlined, as in :meth:`_schedule_event`.
+            # Far-future arms on a deep queue (watchdogs) go to the far
+            # lane: O(1) appends instead of an index-0 memmove per rearm.
             keys = self._keys
             key = -time
-            pos = bisect_left(keys, key)
-            keys.insert(pos, key)
-            self._order.insert(pos, _PRIO_STRIDE + seq)
-            self._items.insert(pos, handle)
+            if keys:
+                far_keys = self._far_keys
+                if key > keys[0] or (
+                    not far_keys and len(keys) < _FAR_LANE_MIN
+                ):
+                    pos = bisect_left(keys, key)
+                    keys.insert(pos, key)
+                    self._order.insert(pos, _PRIO_STRIDE + seq)
+                    self._items.insert(pos, handle)
+                elif not far_keys or time >= far_keys[-1]:
+                    far_keys.append(time)
+                    self._far_order.append(_PRIO_STRIDE + seq)
+                    self._far_items.append(handle)
+                else:
+                    self._push_far(time, _PRIO_STRIDE + seq, handle)
+            elif self._far_keys:
+                self._push_far(time, _PRIO_STRIDE + seq, handle)
+            else:
+                keys.append(key)
+                self._order.append(_PRIO_STRIDE + seq)
+                self._items.append(handle)
         return handle
 
     def _compact(self) -> None:
@@ -277,6 +417,17 @@ class Simulator:
         self._keys[:] = [entry[0] for entry in live]
         self._order[:] = [entry[1] for entry in live]
         self._items[:] = [entry[2] for entry in live]
+        # The far lane is where watchdog arms live, so under
+        # ``call_later(big).cancel()`` churn most cancelled entries are
+        # *here* -- filter it the same way.
+        far_live = [
+            entry
+            for entry in zip(self._far_keys, self._far_order, self._far_items)
+            if not entry[2].cancelled
+        ]
+        self._far_keys[:] = [entry[0] for entry in far_live]
+        self._far_order[:] = [entry[1] for entry in far_live]
+        self._far_items[:] = [entry[2] for entry in far_live]
         normal = self._imm_normal
         if normal:
             kept = [entry for entry in normal if not entry[2].cancelled]
@@ -313,11 +464,29 @@ class Simulator:
             self._imm_normal.append((self._now, seq, event))
         else:
             keys = self._keys
-            key = -(self._now + delay)
-            pos = bisect_left(keys, key)
-            keys.insert(pos, key)
-            self._order.insert(pos, _PRIO_STRIDE + seq)
-            self._items.insert(pos, event)
+            time = self._now + delay
+            key = -time
+            if keys:
+                far_keys = self._far_keys
+                if key > keys[0] or (
+                    not far_keys and len(keys) < _FAR_LANE_MIN
+                ):
+                    pos = bisect_left(keys, key)
+                    keys.insert(pos, key)
+                    self._order.insert(pos, _PRIO_STRIDE + seq)
+                    self._items.insert(pos, event)
+                elif not far_keys or time >= far_keys[-1]:
+                    far_keys.append(time)
+                    self._far_order.append(_PRIO_STRIDE + seq)
+                    self._far_items.append(event)
+                else:
+                    self._push_far(time, _PRIO_STRIDE + seq, event)
+            elif self._far_keys:
+                self._push_far(time, _PRIO_STRIDE + seq, event)
+            else:
+                keys.append(key)
+                self._order.append(_PRIO_STRIDE + seq)
+                self._items.append(event)
         return event
 
     def process(self, generator: Generator) -> "Process":
@@ -329,10 +498,14 @@ class Simulator:
         """Time of the next occurrence, or ``inf`` if the queue is empty."""
         keys = self._keys
         items = self._items
-        while items and items[-1].cancelled:
-            self._heap_pop()
-            if self._cancelled > 0:
-                self._cancelled -= 1
+        while True:
+            while items and items[-1].cancelled:
+                self._heap_pop()
+                if self._cancelled > 0:
+                    self._cancelled -= 1
+            if keys or not self._far_keys:
+                break
+            self._merge_far()
         time = -keys[-1] if keys else _INFINITY
         if self._imm_urgent:
             t = self._imm_urgent[0][0]
@@ -362,10 +535,14 @@ class Simulator:
         nothing is pending at all.
         """
         items = self._items
-        while items and items[-1].cancelled:
-            self._heap_pop()
-            if self._cancelled > 0:
-                self._cancelled -= 1
+        while True:
+            while items and items[-1].cancelled:
+                self._heap_pop()
+                if self._cancelled > 0:
+                    self._cancelled -= 1
+            if items or not self._far_keys:
+                break
+            self._merge_far()
         lane = -1
         if items:
             best_time = -self._keys[-1]
@@ -448,6 +625,12 @@ class Simulator:
                     best_time = -keys[-1]
                     best_order = order[-1]
                     lane = 0
+                elif self._far_keys:
+                    # Main arrays drained: fold the far lane back in
+                    # (in place -- the local bindings stay valid) and
+                    # re-run the merge with a nonempty heap.
+                    self._merge_far()
+                    continue
                 else:
                     lane = -1
                 if urgent:

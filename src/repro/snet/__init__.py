@@ -15,5 +15,6 @@ flow control (:mod:`repro.hpc`) is compared in experiment E7.
 from repro.snet.fifo import SNetFifo, FifoEntry
 from repro.snet.bus import SNetBus
 from repro.snet.nic import SNetInterface
+from repro.snet.fabric import SNetFabric
 
-__all__ = ["SNetFifo", "FifoEntry", "SNetBus", "SNetInterface"]
+__all__ = ["SNetFifo", "FifoEntry", "SNetBus", "SNetInterface", "SNetFabric"]

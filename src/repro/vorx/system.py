@@ -32,6 +32,7 @@ from __future__ import annotations
 import warnings
 from typing import Callable, Generator, Iterable, Optional
 
+from repro.fabric.registry import available_topologies, create_fabric
 from repro.hpc.topology import build_lam_system, build_single_cluster
 from repro.model.costs import CostModel, DEFAULT_COSTS
 from repro.sim.engine import Simulator
@@ -53,6 +54,7 @@ class VorxSystem:
         costs: CostModel = DEFAULT_COSTS,
         sim: Optional[Simulator] = None,
         manager: str = "distributed",
+        topology: Optional[str] = None,
         faults=None,
     ) -> None:
         """Build the machine.  Arguments are keyword-only.
@@ -63,6 +65,13 @@ class VorxSystem:
             Processing nodes in the pool.
         n_workstations:
             Host workstations (for stub/download/host experiments).
+        topology:
+            Interconnect selection by name (:mod:`repro.fabric`):
+            ``"star"``, ``"hypercube"``, ``"hyperx"``, or ``"mesh"``.
+            ``None`` (the default) keeps the historical auto-sizing --
+            a single cluster up to twelve endpoints, the Figure 1 LAM
+            hypercube beyond -- with construction order bit-identical
+            to earlier releases (the determinism goldens pin it).
         manager:
             ``"distributed"`` (VORX: object manager replicated on every
             node, names spread by distributed hashing) or
@@ -141,10 +150,40 @@ class VorxSystem:
                 f"VorxSystem(manager=...) must be 'distributed' or "
                 f"'centralized', got {manager!r}"
             )
+        if topology is not None:
+            if topology == "snet":
+                raise ValueError(
+                    "VorxSystem runs on HPC fabrics; the S/NET bus is "
+                    "Meglos hardware -- use MeglosSystem(fabric='snet')"
+                )
+            hpc_topologies = [
+                name for name in available_topologies() if name != "snet"
+            ]
+            if topology not in hpc_topologies:
+                raise ValueError(
+                    f"VorxSystem(topology=...) must be None or one of "
+                    f"{hpc_topologies}, got {topology!r}"
+                )
         self.sim = sim or Simulator()
         self.costs = costs
         total = n_nodes + n_workstations
-        if total <= 12 and total >= 2:
+        if topology is not None:
+            # Explicit interconnect selection through the backend
+            # registry.  Endpoint addresses are assigned cluster-major by
+            # the builders; processing nodes take the first n_nodes,
+            # workstations the rest, and every interface is renamed to
+            # the node/ws convention the legacy paths use.
+            self.fabric = create_fabric(
+                topology, self.sim, costs, n_endpoints=max(total, 2)
+            )
+            addrs = self.fabric.addresses
+            node_addrs = addrs[:n_nodes]
+            ws_addrs = addrs[n_nodes:total]
+            for i, addr in enumerate(node_addrs):
+                self.fabric.iface(addr).rename(f"node{i}")
+            for i, addr in enumerate(ws_addrs):
+                self.fabric.iface(addr).rename(f"ws{i}")
+        elif total <= 12 and total >= 2:
             self.fabric = build_single_cluster(self.sim, costs, total)
             node_addrs = list(range(n_nodes))
             ws_addrs = list(range(n_nodes, total))
@@ -160,6 +199,7 @@ class VorxSystem:
             self.fabric, node_addrs, ws_addrs = build_lam_system(
                 self.sim, costs, n_nodes, n_workstations
             )
+        self.topology = topology or self.fabric.topology_name
         self.node_addresses = node_addrs
         self.workstation_addresses = ws_addrs
         self.nodes: list[NodeKernel] = [

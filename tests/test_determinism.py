@@ -22,7 +22,9 @@ immediate-event lane must preserve them bit-for-bit.
 
 import hashlib
 
-from repro import FaultPlan, VorxSystem
+from repro import FaultPlan, VorxSystem, create_fabric, run_all_pairs
+from repro.model.costs import CostModel
+from repro.sim import Simulator
 from repro.vorx.sliding_window import run_channel_stream
 
 #: sha256 over the channel-stream trace, recorded before the
@@ -35,6 +37,15 @@ GOLDEN_CHANNELS = (
 #: Same, for the seeded faultstorm workload.
 GOLDEN_FAULTSTORM = (
     "64c8574c61dbdda1ba9337013824db38bf71525e84614588022fb21c8d8cec74"
+)
+
+#: Schedule-sensitive :meth:`TrafficResult.fingerprint` of the
+#: ``hypercube_1024`` perf workload: 1024 endpoints on the 256-cluster
+#: incomplete hypercube, bounded all-pairs traffic (4 partners, 64-byte
+#: messages, 4096 deliveries).  Pins the fabric layer's routing, link
+#: arbitration and flow-control schedule at paper-plus scale.
+GOLDEN_HYPERCUBE_1024 = (
+    "45b0e74688f4bbf6182a47e103f9ce6baf52137087d7b27e50e43efd64d40243"
 )
 
 
@@ -101,3 +112,23 @@ def test_faultstorm_fingerprint_run_to_run():
 
 def test_faultstorm_fingerprint_golden():
     assert run_faultstorm() == GOLDEN_FAULTSTORM
+
+
+def run_hypercube_1024():
+    """The ``hypercube_1024`` perf workload, exactly as scripts/perf.py
+    runs it (traffic drive only; the engine-rate wrapper is not part of
+    the fingerprint)."""
+    sim = Simulator()
+    sim.vstat.events.disable()
+    fabric = create_fabric("hypercube", sim, CostModel(), n_endpoints=1024)
+    result = run_all_pairs(fabric, size=64, partners=4)
+    assert result.delivered == result.sent == 4096
+    return result.fingerprint()
+
+
+def test_hypercube_1024_fingerprint_run_to_run():
+    assert run_hypercube_1024() == run_hypercube_1024()
+
+
+def test_hypercube_1024_fingerprint_golden():
+    assert run_hypercube_1024() == GOLDEN_HYPERCUBE_1024

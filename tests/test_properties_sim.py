@@ -214,12 +214,14 @@ def test_cancelled_counter_invariant(ops):
             expected += 1
         queued_cancelled = (
             sum(1 for item in sim._items if item.cancelled)
+            + sum(1 for item in sim._far_items if item.cancelled)
             + sum(1 for entry in sim._imm_normal if entry[2].cancelled)
         )
         assert sim._cancelled == queued_cancelled
     sim._compact()
     assert sim._cancelled == 0
     assert not any(item.cancelled for item in sim._items)
+    assert not any(item.cancelled for item in sim._far_items)
     assert not any(entry[2].cancelled for entry in sim._imm_normal)
     sim.run()
     assert sim._cancelled == 0
