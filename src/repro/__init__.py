@@ -10,7 +10,9 @@ This module is the stable public surface: build a machine with
 programs against :class:`Env`, inject faults with :class:`FaultPlan`,
 and read results via :func:`summarize` / :func:`fault_summary` and the
 tool classes (:class:`Prof`, :class:`SoftwareOscilloscope`,
-:class:`Cdb`, :class:`Vdb`).
+:class:`Cdb`, :class:`Vdb`).  For measurements, drive stochastic load
+with :class:`Workload` and orchestrate seeded sweeps with
+:class:`Experiment` / :class:`RunTable`.
 
 Quick start::
 
@@ -36,6 +38,14 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured results of every table and figure.
 """
 
+from repro.exp import (
+    Contrast,
+    Experiment,
+    RunResult,
+    RunTable,
+    RunTableResult,
+    Scenario,
+)
 from repro.fabric import (
     FabricBackend,
     available_topologies,
@@ -50,18 +60,39 @@ from repro.metrics.report import summarize, write_jsonl
 from repro.model import DEFAULT_COSTS, CostModel
 from repro.sim import Simulator
 from repro.vorx import ChannelHandle, Env, NodeKernel, VorxSystem
+from repro.workload import (
+    ArrivalProcess,
+    FixedRateArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    Workload,
+    WorkloadResult,
+)
 
 # The tools build on the vorx layer; importing them last keeps the
 # dependency direction obvious.
 from repro.tools import Cdb, Prof, SoftwareOscilloscope, Vdb
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # systems
     "VorxSystem",
     "MeglosSystem",
     "SnetSystem",
+    # workloads & experiments
+    "Workload",
+    "WorkloadResult",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "FixedRateArrivals",
+    "MMPPArrivals",
+    "Experiment",
+    "Scenario",
+    "RunResult",
+    "RunTable",
+    "RunTableResult",
+    "Contrast",
     # programming surface
     "Env",
     "ChannelHandle",

@@ -35,7 +35,7 @@ def available_topologies() -> list[str]:
 
 
 def create_fabric(
-    topology: str,
+    topology,
     sim: "Simulator",
     costs: "CostModel",
     n_endpoints: int,
@@ -48,7 +48,26 @@ def create_fabric(
     ``shape`` for HyperX and the mesh) and raises ``ValueError`` with
     the capacity arithmetic spelled out when ``n_endpoints`` does not
     fit.
+
+    An already-built :class:`~repro.fabric.base.FabricBackend` instance
+    passes through unchanged (so callers holding "name or instance" can
+    resolve both through one function) -- provided it is big enough for
+    ``n_endpoints`` and tied to the same ``sim``.
     """
+    from repro.fabric.base import FabricBackend
+
+    if isinstance(topology, FabricBackend):
+        if topology.sim is not sim:
+            raise ValueError(
+                "create_fabric() got a built fabric tied to a different "
+                "simulator than sim="
+            )
+        if len(topology.addresses) < n_endpoints:
+            raise ValueError(
+                f"built fabric has {len(topology.addresses)} endpoints, "
+                f"need {n_endpoints}"
+            )
+        return topology
     try:
         builder = _BACKENDS[topology]
     except KeyError:

@@ -405,7 +405,8 @@ class MeglosSystem:
         *,
         recovery: str = "busy-retransmit",
         seed: int = 1990,
-        fabric: str = "snet",
+        topology: Optional[str] = None,
+        fabric=None,
         faults=None,
     ):
         """Build the machine.
@@ -414,13 +415,20 @@ class MeglosSystem:
         node's sends default to: ``"busy-retransmit"`` (alias
         ``"naive"`` -- the original scheme, livelocks under many-to-one
         bursts), ``"random-backoff"``, or ``"reservation"``.  ``seed``
-        makes the backoff schedules reproducible.  ``fabric`` selects the
-        interconnect through the :mod:`repro.fabric` registry; Meglos
-        drove the S/NET bus and nothing else, so only ``"snet"`` is
-        legal -- the HPC topology names raise with a pointer to
-        :class:`VorxSystem <repro.vorx.system.VorxSystem>`.  ``faults``
-        optionally attaches a :class:`repro.faults.FaultPlan`.
+        makes the backoff schedules reproducible.
+
+        Interconnect selection follows the same convention as
+        :class:`VorxSystem <repro.vorx.system.VorxSystem>`: ``topology=``
+        takes a registered name, ``fabric=`` takes a built
+        :class:`~repro.fabric.base.FabricBackend` instance, and giving
+        both raises.  Meglos drove the S/NET bus and nothing else, so
+        only ``"snet"`` (the default) is legal -- the HPC topology names
+        raise with a pointer to ``VorxSystem``.  A ``fabric=`` instance
+        must be an S/NET backend; its per-node receive interrupts are
+        taken over by the Meglos ISRs.  ``faults`` optionally attaches a
+        :class:`repro.faults.FaultPlan`.
         """
+        from repro.fabric.base import FabricBackend
         from repro.fabric.registry import available_topologies, create_fabric
         from repro.model.costs import DEFAULT_COSTS
         from repro.sim.engine import Simulator as _Sim
@@ -439,27 +447,74 @@ class MeglosSystem:
                 f"MeglosSystem(recovery=...) must be one of {POLICIES}, "
                 f"got {recovery!r}"
             )
-        if fabric != "snet":
-            if fabric in available_topologies():
+        if isinstance(fabric, str):
+            # Historical spelling: fabric="snet" selected by name before
+            # topology= existed.  Remap it so old call sites keep their
+            # exact error behaviour.
+            if topology is not None:
                 raise ValueError(
-                    f"Meglos drove the S/NET bus, not the {fabric!r} "
-                    f"fabric; use VorxSystem(topology={fabric!r}) for HPC "
+                    "MeglosSystem(): give topology= (a registered name) "
+                    "or fabric= (a built FabricBackend instance), not both"
+                )
+            topology, fabric = fabric, None
+        if topology is not None and fabric is not None:
+            raise ValueError(
+                "MeglosSystem(): give topology= (a registered name) or "
+                "fabric= (a built FabricBackend instance), not both"
+            )
+        if fabric is not None and not isinstance(fabric, FabricBackend):
+            raise TypeError(
+                f"MeglosSystem(fabric=...) must be a FabricBackend "
+                f"instance or None, got {fabric!r}"
+            )
+        if topology is None and fabric is None:
+            topology = "snet"
+        if topology is not None and topology != "snet":
+            if topology in available_topologies():
+                raise ValueError(
+                    f"Meglos drove the S/NET bus, not the {topology!r} "
+                    f"fabric; use VorxSystem(topology={topology!r}) for HPC "
                     f"interconnects"
                 )
             raise ValueError(
-                f"unknown fabric {fabric!r}; available: "
+                f"unknown fabric {topology!r}; available: "
                 f"{', '.join(available_topologies())}"
             )
+        if fabric is not None:
+            if fabric.topology_name != "snet":
+                raise ValueError(
+                    f"Meglos drove the S/NET bus, not the "
+                    f"{fabric.topology_name!r} fabric; use "
+                    f"VorxSystem(fabric=...) for HPC interconnects"
+                )
+            if sim is not None and fabric.sim is not sim:
+                raise ValueError(
+                    "MeglosSystem(fabric=...) already carries a "
+                    "simulator; drop sim= or pass the same instance"
+                )
+            if len(fabric.addresses) < n_nodes:
+                raise ValueError(
+                    f"MeglosSystem(fabric=...) has "
+                    f"{len(fabric.addresses)} endpoints but n_nodes = "
+                    f"{n_nodes}"
+                )
+            sim = fabric.sim
+            if costs is None:
+                costs = fabric.costs
         self.sim = sim or _Sim()
         self.costs = costs or DEFAULT_COSTS
         self.recovery = recovery
-        # The backend owns the bus and the per-processor interfaces;
-        # Meglos installs its own ISR on each interface (install_rx=False
-        # keeps the backend's generic receive drain out of the way).
-        self.fabric = create_fabric(
-            fabric, self.sim, self.costs, n_endpoints=n_nodes,
-            install_rx=False,
-        )
+        if fabric is not None:
+            self.fabric = fabric
+        else:
+            # The backend owns the bus and the per-processor interfaces;
+            # Meglos installs its own ISR on each interface
+            # (install_rx=False keeps the backend's generic receive drain
+            # out of the way).
+            self.fabric = create_fabric(
+                topology, self.sim, self.costs, n_endpoints=n_nodes,
+                install_rx=False,
+            )
         self.bus = self.fabric.bus
         self.nodes: list[MeglosNode] = []
         for i in range(n_nodes):

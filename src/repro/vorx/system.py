@@ -29,9 +29,9 @@ nodes.  It is the main entry point of the library:
 
 from __future__ import annotations
 
-import warnings
 from typing import Callable, Generator, Iterable, Optional
 
+from repro.fabric.base import FabricBackend
 from repro.fabric.registry import available_topologies, create_fabric
 from repro.hpc.topology import build_lam_system, build_single_cluster
 from repro.model.costs import CostModel, DEFAULT_COSTS
@@ -39,22 +39,20 @@ from repro.sim.engine import Simulator
 from repro.vorx.kernel import NodeKernel
 from repro.vorx.subprocesses import Subprocess
 
-#: Legacy positional parameter order, kept only for the deprecation shim.
-_LEGACY_POSITIONAL = ("n_nodes", "n_workstations", "costs", "sim", "manager")
-
 
 class VorxSystem:
     """A complete simulated HPC/VORX installation."""
 
     def __init__(
         self,
-        *args,
+        *,
         n_nodes: int = 2,
         n_workstations: int = 0,
         costs: CostModel = DEFAULT_COSTS,
         sim: Optional[Simulator] = None,
         manager: str = "distributed",
         topology: Optional[str] = None,
+        fabric: Optional[FabricBackend] = None,
         faults=None,
     ) -> None:
         """Build the machine.  Arguments are keyword-only.
@@ -72,6 +70,11 @@ class VorxSystem:
             a single cluster up to twelve endpoints, the Figure 1 LAM
             hypercube beyond -- with construction order bit-identical
             to earlier releases (the determinism goldens pin it).
+        fabric:
+            A pre-built :class:`~repro.fabric.base.FabricBackend`
+            instance to run on, mutually exclusive with ``topology=``.
+            The system adopts the fabric's simulator; passing a
+            conflicting ``sim=`` raises.
         manager:
             ``"distributed"`` (VORX: object manager replicated on every
             node, names spread by distributed hashing) or
@@ -80,41 +83,7 @@ class VorxSystem:
         faults:
             Optional :class:`repro.faults.FaultPlan` attached once the
             machine is built (equivalent to ``plan.attach(system)``).
-
-        Positional arguments are deprecated; they still work through a
-        shim that maps them onto the historical order
-        ``(n_nodes, n_workstations, costs, sim, manager)`` and emits a
-        :class:`DeprecationWarning`.
         """
-        if args:
-            warnings.warn(
-                "positional VorxSystem(...) arguments are deprecated; "
-                "pass keyword arguments instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if len(args) > len(_LEGACY_POSITIONAL):
-                raise TypeError(
-                    f"VorxSystem() takes at most {len(_LEGACY_POSITIONAL)} "
-                    f"positional arguments ({len(args)} given)"
-                )
-            given = {
-                "n_nodes": n_nodes, "n_workstations": n_workstations,
-                "costs": costs, "sim": sim, "manager": manager,
-            }
-            defaults = VorxSystem.__init__.__kwdefaults__
-            for name, value in zip(_LEGACY_POSITIONAL, args):
-                if given[name] is not defaults[name]:
-                    raise TypeError(
-                        f"VorxSystem() got multiple values for argument "
-                        f"{name!r}"
-                    )
-                given[name] = value
-            n_nodes = given["n_nodes"]
-            n_workstations = given["n_workstations"]
-            costs = given["costs"]
-            sim = given["sim"]
-            manager = given["manager"]
         if not isinstance(n_nodes, int) or isinstance(n_nodes, bool):
             raise TypeError(
                 f"VorxSystem(n_nodes=...) must be an int, got {n_nodes!r}"
@@ -150,11 +119,21 @@ class VorxSystem:
                 f"VorxSystem(manager=...) must be 'distributed' or "
                 f"'centralized', got {manager!r}"
             )
+        if topology is not None and fabric is not None:
+            raise ValueError(
+                "VorxSystem(): give topology= (a registered name) or "
+                "fabric= (a built FabricBackend instance), not both"
+            )
         if topology is not None:
+            if isinstance(topology, FabricBackend):
+                raise TypeError(
+                    "VorxSystem(topology=...) selects by name; pass "
+                    "built instances as fabric=<instance>"
+                )
             if topology == "snet":
                 raise ValueError(
                     "VorxSystem runs on HPC fabrics; the S/NET bus is "
-                    "Meglos hardware -- use MeglosSystem(fabric='snet')"
+                    "Meglos hardware -- use MeglosSystem(topology='snet')"
                 )
             hpc_topologies = [
                 name for name in available_topologies() if name != "snet"
@@ -164,10 +143,49 @@ class VorxSystem:
                     f"VorxSystem(topology=...) must be None or one of "
                     f"{hpc_topologies}, got {topology!r}"
                 )
+        if fabric is not None:
+            if isinstance(fabric, str):
+                raise TypeError(
+                    "VorxSystem(fabric=...) takes a built FabricBackend "
+                    "instance; select by name with topology=<name>"
+                )
+            if not isinstance(fabric, FabricBackend):
+                raise TypeError(
+                    f"VorxSystem(fabric=...) must be a FabricBackend "
+                    f"instance or None, got {fabric!r}"
+                )
+            if fabric.topology_name == "snet":
+                raise ValueError(
+                    "VorxSystem runs on HPC fabrics; the S/NET bus is "
+                    "Meglos hardware -- use MeglosSystem(fabric=...)"
+                )
+            if sim is not None and fabric.sim is not sim:
+                raise ValueError(
+                    "VorxSystem(fabric=...) already carries a simulator; "
+                    "drop sim= or pass the same instance"
+                )
+            sim = fabric.sim
         self.sim = sim or Simulator()
         self.costs = costs
         total = n_nodes + n_workstations
-        if topology is not None:
+        if fabric is not None:
+            # Adopt the caller's fabric: processing nodes take the first
+            # n_nodes addresses, workstations the rest, same as the
+            # by-name path below.
+            addrs = fabric.addresses
+            if len(addrs) < total:
+                raise ValueError(
+                    f"VorxSystem(fabric=...) has {len(addrs)} endpoints "
+                    f"but n_nodes + n_workstations = {total}"
+                )
+            self.fabric = fabric
+            node_addrs = list(addrs[:n_nodes])
+            ws_addrs = list(addrs[n_nodes:total])
+            for i, addr in enumerate(node_addrs):
+                self.fabric.iface(addr).rename(f"node{i}")
+            for i, addr in enumerate(ws_addrs):
+                self.fabric.iface(addr).rename(f"ws{i}")
+        elif topology is not None:
             # Explicit interconnect selection through the backend
             # registry.  Endpoint addresses are assigned cluster-major by
             # the builders; processing nodes take the first n_nodes,

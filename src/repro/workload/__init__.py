@@ -1,0 +1,60 @@
+"""Open-loop workload generation over the simulated cluster.
+
+The bridge from "simulator with benchmarks" to "experiment platform":
+seeded stochastic arrival processes (:mod:`repro.workload.arrivals`),
+probabilistic service-call graphs driven over any fabric backend
+(:mod:`repro.workload.generator`), trace-driven replay
+(:mod:`repro.workload.trace`), and the dependency-free rank statistics
+the experiment layer contrasts arms with
+(:mod:`repro.workload.stats`).
+
+Quick start::
+
+    from repro import Workload, PoissonArrivals, create_fabric
+    from repro.model import DEFAULT_COSTS
+    from repro.sim import Simulator
+
+    wl = Workload(arrivals=PoissonArrivals(rate_per_s=2000),
+                  n_requests=500, fanout=2)
+    sim = Simulator()
+    fabric = create_fabric("hypercube", sim, DEFAULT_COSTS, n_endpoints=64)
+    result = wl.run(fabric, seed=7, arm="hypercube/64")
+    print(result.percentiles(), result.failure_rate)
+"""
+
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    FixedRateArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+)
+from repro.workload.generator import Workload, WorkloadResult
+from repro.workload.stats import (
+    kruskal_wallis,
+    mann_whitney_u,
+    percentile,
+)
+from repro.workload.trace import (
+    RequestRecord,
+    RequestTarget,
+    dump_trace,
+    load_trace,
+    trace_fingerprint,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "FixedRateArrivals",
+    "PoissonArrivals",
+    "MMPPArrivals",
+    "Workload",
+    "WorkloadResult",
+    "RequestRecord",
+    "RequestTarget",
+    "dump_trace",
+    "load_trace",
+    "trace_fingerprint",
+    "mann_whitney_u",
+    "kruskal_wallis",
+    "percentile",
+]

@@ -1,0 +1,185 @@
+"""Open-loop arrival processes: when the next request shows up.
+
+"Millions of users" do not wait for the previous request to finish --
+an *open-loop* generator schedules arrivals from a stochastic process
+that is independent of the system's completions (the methodological
+point the cluster-benchmarking literature hammers: closed-loop drivers
+hide queueing collapse because they self-throttle).  Every process here
+is a pure function of its configuration and the seeded RNG it is handed,
+so an identical seed reproduces an identical arrival schedule.
+
+Rates are expressed in requests per *simulated* second; the simulator
+clock runs in microseconds, so a process yields inter-arrival gaps in
+microseconds.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+#: Microseconds per second -- the simulator clock unit conversion.
+US_PER_S = 1_000_000.0
+
+
+def _check_rate(argument: str, value) -> float:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise TypeError(
+            f"{argument} must be a positive number (requests/s), "
+            f"got {value!r}"
+        )
+    if value <= 0:
+        raise ValueError(
+            f"{argument} must be positive (requests/s), got {value!r}"
+        )
+    return float(value)
+
+
+class ArrivalProcess(ABC):
+    """When requests arrive: a seeded stream of inter-arrival gaps.
+
+    Concrete processes are configuration-only objects (safe to share
+    across runs and arms); all randomness comes from the ``rng`` handed
+    to :meth:`intervals`, so one process instance can drive many
+    independent seeded replications.
+    """
+
+    #: Short kind tag used in run-table rows and trace metadata.
+    kind: str = "arrivals"
+
+    @abstractmethod
+    def intervals(self, rng: random.Random) -> Iterator[float]:
+        """Yield successive inter-arrival gaps in simulated microseconds."""
+
+    @property
+    @abstractmethod
+    def mean_rate_per_s(self) -> float:
+        """Long-run offered rate in requests per simulated second."""
+
+    def describe(self) -> str:
+        """One-line human-readable description for summaries."""
+        return f"{self.kind}({self.mean_rate_per_s:.0f}/s)"
+
+
+class FixedRateArrivals(ArrivalProcess):
+    """Deterministic arrivals: one request every ``1/rate`` seconds."""
+
+    kind = "fixed"
+
+    def __init__(self, *, rate_per_s: float) -> None:
+        self.rate_per_s = _check_rate(
+            "FixedRateArrivals(rate_per_s=...)", rate_per_s
+        )
+
+    @property
+    def mean_rate_per_s(self) -> float:
+        return self.rate_per_s
+
+    def intervals(self, rng: random.Random) -> Iterator[float]:
+        gap = US_PER_S / self.rate_per_s
+        while True:
+            yield gap
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals: exponential gaps with mean ``1/rate``.
+
+    The canonical model for aggregate traffic from many independent
+    users (each individually rare).
+    """
+
+    kind = "poisson"
+
+    def __init__(self, *, rate_per_s: float) -> None:
+        self.rate_per_s = _check_rate(
+            "PoissonArrivals(rate_per_s=...)", rate_per_s
+        )
+
+    @property
+    def mean_rate_per_s(self) -> float:
+        return self.rate_per_s
+
+    def intervals(self, rng: random.Random) -> Iterator[float]:
+        rate_per_us = self.rate_per_s / US_PER_S
+        while True:
+            yield rng.expovariate(rate_per_us)
+
+
+class MMPPArrivals(ArrivalProcess):
+    """Bursty arrivals: a two-state Markov-modulated Poisson process.
+
+    The process alternates between a *calm* and a *burst* state; within
+    a state, arrivals are Poisson at that state's rate, and the state
+    dwell times are themselves exponential.  This is the standard
+    compact model for flash-crowd traffic: long quiet stretches broken
+    by intervals at many times the base rate.
+
+    Parameters
+    ----------
+    rates_per_s:
+        ``(calm, burst)`` Poisson rates, requests per simulated second.
+    dwell_us:
+        ``(calm, burst)`` mean state dwell times in microseconds.
+    """
+
+    kind = "mmpp"
+
+    def __init__(
+        self,
+        *,
+        rates_per_s: tuple[float, float],
+        dwell_us: tuple[float, float] = (200_000.0, 50_000.0),
+    ) -> None:
+        try:
+            calm_rate, burst_rate = rates_per_s
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"MMPPArrivals(rates_per_s=...) must be a (calm, burst) "
+                f"pair, got {rates_per_s!r}"
+            ) from None
+        self.rates_per_s = (
+            _check_rate("MMPPArrivals(rates_per_s=...) calm rate", calm_rate),
+            _check_rate("MMPPArrivals(rates_per_s=...) burst rate", burst_rate),
+        )
+        try:
+            calm_dwell, burst_dwell = dwell_us
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"MMPPArrivals(dwell_us=...) must be a (calm, burst) pair "
+                f"of microsecond means, got {dwell_us!r}"
+            ) from None
+        if calm_dwell <= 0 or burst_dwell <= 0:
+            raise ValueError(
+                f"MMPPArrivals(dwell_us=...) dwell means must be positive, "
+                f"got {dwell_us!r}"
+            )
+        self.dwell_us = (float(calm_dwell), float(burst_dwell))
+
+    @property
+    def mean_rate_per_s(self) -> float:
+        (calm_rate, burst_rate) = self.rates_per_s
+        (calm_dwell, burst_dwell) = self.dwell_us
+        total = calm_dwell + burst_dwell
+        return (calm_rate * calm_dwell + burst_rate * burst_dwell) / total
+
+    def describe(self) -> str:
+        calm, burst = self.rates_per_s
+        return f"mmpp({calm:.0f}/s calm, {burst:.0f}/s burst)"
+
+    def intervals(self, rng: random.Random) -> Iterator[float]:
+        state = 0  # start calm: the burst is the event, not the baseline
+        remaining = rng.expovariate(1.0 / self.dwell_us[state])
+        while True:
+            gap = rng.expovariate(self.rates_per_s[state] / US_PER_S)
+            # Spend down dwell time; cross as many state boundaries as
+            # the gap covers so short dwells cannot be skipped over.
+            while gap >= remaining:
+                gap = remaining + (gap - remaining) * (
+                    self.rates_per_s[state]
+                    / self.rates_per_s[1 - state]
+                )
+                state = 1 - state
+                remaining = rng.expovariate(1.0 / self.dwell_us[state])
+            remaining -= gap
+            yield gap

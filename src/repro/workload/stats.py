@@ -1,0 +1,229 @@
+"""Dependency-free statistics for experiment contrasts.
+
+The run-table pipeline compares *distributions* of per-request latencies
+between topology arms.  Latency distributions are heavy-tailed and
+definitely not normal, so the comparisons are rank-based:
+
+* :func:`mann_whitney_u` -- two-sample Mann-Whitney U (Wilcoxon
+  rank-sum), exact for small tie-free samples, normal approximation
+  with tie and continuity corrections otherwise;
+* :func:`kruskal_wallis` -- the k-sample generalisation, with a
+  chi-square survival function implemented via the regularised
+  incomplete gamma function.
+
+Everything here is plain Python on plain lists (the repo's hard
+constraint: no scipy at runtime), validated in the tests against
+published small-sample values.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+#: Largest ``n1 * n2`` for which the exact Mann-Whitney null distribution
+#: is enumerated (dynamic programme is O(n1 * n2 * U_max)).
+_EXACT_LIMIT = 400
+
+
+def percentile(samples: Sequence[float], p: float) -> float:
+    """Exact percentile ``p`` (0..100) with linear interpolation.
+
+    Matches numpy's default ("linear") method: the quantile position is
+    ``(n - 1) * p / 100`` in the sorted sample.
+    """
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in 0..100, got {p}")
+    if not samples:
+        raise ValueError("percentile of an empty sample")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = (len(ordered) - 1) * p / 100.0
+    lower = int(position)
+    fraction = position - lower
+    if fraction == 0.0:
+        return float(ordered[lower])
+    return float(
+        ordered[lower] + (ordered[lower + 1] - ordered[lower]) * fraction
+    )
+
+
+def _ranks(values: Sequence[float]) -> list[float]:
+    """Midranks (1-based, ties averaged) of ``values``."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and (
+            values[order[j + 1]] == values[order[i]]
+        ):
+            j += 1
+        midrank = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = midrank
+        i = j + 1
+    return ranks
+
+
+def _tie_groups(values: Sequence[float]) -> list[int]:
+    """Sizes of the tied groups in ``values`` (groups of size 1 included)."""
+    counts: dict[float, int] = {}
+    for value in values:
+        counts[value] = counts.get(value, 0) + 1
+    return list(counts.values())
+
+
+def normal_sf(z: float) -> float:
+    """Standard normal survival function ``P(Z > z)``."""
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+def chi2_sf(x: float, df: int) -> float:
+    """Chi-square survival function ``P(X > x)`` with ``df`` degrees.
+
+    Computed as the regularised upper incomplete gamma function
+    ``Q(df/2, x/2)`` -- series expansion below ``a + 1``, continued
+    fraction above (the classic Numerical Recipes split).
+    """
+    if df < 1:
+        raise ValueError(f"chi-square needs df >= 1, got {df}")
+    if x <= 0.0:
+        return 1.0
+    a = df / 2.0
+    y = x / 2.0
+    if y < a + 1.0:
+        # Lower series: P(a, y); return 1 - P.
+        term = 1.0 / a
+        total = term
+        denominator = a
+        for _ in range(500):
+            denominator += 1.0
+            term *= y / denominator
+            total += term
+            if abs(term) < abs(total) * 1e-15:
+                break
+        p_lower = total * math.exp(-y + a * math.log(y) - math.lgamma(a))
+        return max(0.0, min(1.0, 1.0 - p_lower))
+    # Upper continued fraction: Q(a, y) directly (Lentz's algorithm).
+    tiny = 1e-300
+    b = y + 1.0 - a
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, 500):
+        an = -i * (i - a)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-15:
+            break
+    return max(
+        0.0,
+        min(1.0, h * math.exp(-y + a * math.log(y) - math.lgamma(a))),
+    )
+
+
+def _exact_mann_whitney_cdf(n1: int, n2: int, u: int) -> float:
+    """Exact ``P(U <= u)`` under the null, tie-free samples.
+
+    Counts rank arrangements via the Mann & Whitney (1947) recurrence
+    ``N(u; a, b) = N(u - b; a - 1, b) + N(u; a, b - 1)`` with the
+    boundary ``N(u; 0, b) = N(u; a, 0) = [u == 0]``.
+    """
+    max_u = n1 * n2
+    u = min(int(u), max_u)
+    # f[b][v] holds N(v; a, b) for the current a.
+    f = [[1 if v == 0 else 0 for v in range(max_u + 1)]
+         for _ in range(n2 + 1)]
+    for _a in range(1, n1 + 1):
+        g = [[0] * (max_u + 1) for _ in range(n2 + 1)]
+        g[0][0] = 1
+        for b in range(1, n2 + 1):
+            gb = g[b]
+            g_prev_b = g[b - 1]
+            f_prev_a = f[b]
+            for v in range(max_u + 1):
+                gb[v] = g_prev_b[v] + (f_prev_a[v - b] if v >= b else 0)
+        f = g
+    total = math.comb(n1 + n2, n1)
+    return sum(f[n2][v] for v in range(u + 1)) / total
+
+
+def mann_whitney_u(
+    a: Sequence[float], b: Sequence[float]
+) -> tuple[float, float]:
+    """Two-sided Mann-Whitney U test; returns ``(U, p_value)``.
+
+    ``U`` is the smaller of the two one-sided statistics.  The p-value
+    is exact (rank-arrangement enumeration) for tie-free samples with
+    ``n1 * n2 <= 400``; larger or tied samples use the normal
+    approximation with tie and continuity corrections.
+    """
+    n1, n2 = len(a), len(b)
+    if n1 < 1 or n2 < 1:
+        raise ValueError(
+            f"mann_whitney_u needs non-empty samples, got sizes {n1}, {n2}"
+        )
+    pooled = list(a) + list(b)
+    ranks = _ranks(pooled)
+    r1 = sum(ranks[:n1])
+    u1 = r1 - n1 * (n1 + 1) / 2.0
+    u2 = n1 * n2 - u1
+    u = min(u1, u2)
+    ties = _tie_groups(pooled)
+    has_ties = any(t > 1 for t in ties)
+    if not has_ties and n1 * n2 <= _EXACT_LIMIT:
+        p = 2.0 * _exact_mann_whitney_cdf(n1, n2, int(u))
+        return u, min(1.0, p)
+    n = n1 + n2
+    mean = n1 * n2 / 2.0
+    tie_term = sum(t ** 3 - t for t in ties) / (n * (n - 1)) if n > 1 else 0.0
+    variance = n1 * n2 / 12.0 * ((n + 1) - tie_term)
+    if variance <= 0.0:
+        # Every observation identical: no evidence either way.
+        return u, 1.0
+    z = (u - mean + 0.5) / math.sqrt(variance)
+    p = 2.0 * normal_sf(abs(z))
+    return u, min(1.0, p)
+
+
+def kruskal_wallis(groups: Sequence[Sequence[float]]) -> tuple[float, float]:
+    """Kruskal-Wallis H test across ``groups``; returns ``(H, p_value)``.
+
+    The k-sample rank test (chi-square approximation, tie-corrected):
+    the omnibus "do these topology arms differ at all?" check run before
+    pairwise contrasts.
+    """
+    k = len(groups)
+    if k < 2:
+        raise ValueError(f"kruskal_wallis needs >= 2 groups, got {k}")
+    sizes = [len(g) for g in groups]
+    if any(size < 1 for size in sizes):
+        raise ValueError("kruskal_wallis needs non-empty groups")
+    pooled: list[float] = [x for g in groups for x in g]
+    n = len(pooled)
+    if n < 3:
+        raise ValueError(f"kruskal_wallis needs >= 3 observations, got {n}")
+    ranks = _ranks(pooled)
+    h = 0.0
+    offset = 0
+    for size in sizes:
+        rank_sum = sum(ranks[offset:offset + size])
+        h += rank_sum * rank_sum / size
+        offset += size
+    h = 12.0 / (n * (n + 1)) * h - 3.0 * (n + 1)
+    tie_sum = sum(t ** 3 - t for t in _tie_groups(pooled))
+    correction = 1.0 - tie_sum / (n ** 3 - n)
+    if correction <= 0.0:
+        return 0.0, 1.0
+    h /= correction
+    return h, chi2_sf(h, k - 1)

@@ -1,0 +1,115 @@
+"""Tests for the dependency-free statistics in repro.workload.stats.
+
+The anchors are textbook values (Mann & Whitney 1947 exact tables,
+chi-square critical values, a worked Kruskal-Wallis example verified
+against scipy) so regressions in the DP recurrence or the incomplete
+gamma show up as hard numeric failures.
+"""
+
+import pytest
+
+from repro.workload.stats import (
+    chi2_sf,
+    kruskal_wallis,
+    mann_whitney_u,
+    percentile,
+)
+
+
+# ----------------------------------------------------------------------
+# percentile (numpy-linear convention)
+# ----------------------------------------------------------------------
+def test_percentile_known_values():
+    assert percentile([1, 2, 3, 4], 50.0) == pytest.approx(2.5)
+    assert percentile([1, 2, 3, 4, 5], 95.0) == pytest.approx(4.8)
+    assert percentile([7], 99.0) == 7
+    assert percentile([1, 2, 3], 0.0) == 1
+    assert percentile([1, 2, 3], 100.0) == 3
+
+
+# ----------------------------------------------------------------------
+# Mann-Whitney U
+# ----------------------------------------------------------------------
+def test_mann_whitney_exact_complete_separation():
+    # 4 vs 4, no overlap: U = 0, exact two-sided p = 2/C(8,4) = 2/70.
+    u, p = mann_whitney_u([1, 2, 3, 4], [5, 6, 7, 8])
+    assert u == 0.0
+    assert p == pytest.approx(2 / 70)
+
+
+def test_mann_whitney_exact_classic_small_sample():
+    # 5 vs 4 with three crossing pairs: U = 3; the exact table gives
+    # N(0)+N(1)+N(2)+N(3) = 1+1+2+3 = 7 of C(9,4) = 126 arrangements,
+    # so two-sided p = 2*7/126.
+    u, p = mann_whitney_u([1, 2, 4, 5, 6], [3, 7, 8, 9])
+    assert u == 3.0
+    assert p == pytest.approx(2 * 7 / 126)
+
+
+def test_mann_whitney_is_symmetric():
+    a, b = [1.0, 3.0, 5.0, 9.0], [2.0, 4.0, 6.0, 8.0]
+    u_ab, p_ab = mann_whitney_u(a, b)
+    u_ba, p_ba = mann_whitney_u(b, a)
+    assert u_ab == u_ba
+    assert p_ab == pytest.approx(p_ba)
+
+
+def test_mann_whitney_identical_samples_not_significant():
+    a = [1.0, 2.0, 3.0, 4.0, 5.0]
+    _, p = mann_whitney_u(a, list(a))
+    assert p > 0.5
+
+
+def test_mann_whitney_ties_use_corrected_normal():
+    # Heavy ties force the tie-corrected normal path; p stays a
+    # probability and equal samples stay insignificant.
+    a = [1.0, 1.0, 2.0, 2.0, 3.0, 3.0]
+    b = [1.0, 2.0, 2.0, 3.0, 3.0, 3.0]
+    _, p = mann_whitney_u(a, b)
+    assert 0.0 < p <= 1.0
+
+
+def test_mann_whitney_large_samples_use_normal_path():
+    # 25 x 25 > the exact-enumeration limit; separation this complete
+    # must still come out overwhelmingly significant.
+    a = [float(i) for i in range(25)]
+    b = [float(i) + 100.0 for i in range(25)]
+    u, p = mann_whitney_u(a, b)
+    assert u == 0.0
+    assert p < 1e-8
+
+
+def test_mann_whitney_rejects_empty():
+    with pytest.raises(ValueError):
+        mann_whitney_u([], [1.0])
+
+
+# ----------------------------------------------------------------------
+# chi-square survival function
+# ----------------------------------------------------------------------
+def test_chi2_sf_critical_values():
+    assert chi2_sf(3.841, 1) == pytest.approx(0.05, abs=1e-3)
+    assert chi2_sf(5.991, 2) == pytest.approx(0.05, abs=1e-3)
+    assert chi2_sf(9.210, 2) == pytest.approx(0.01, abs=1e-3)
+    assert chi2_sf(0.0, 3) == 1.0
+
+
+# ----------------------------------------------------------------------
+# Kruskal-Wallis
+# ----------------------------------------------------------------------
+def test_kruskal_wallis_worked_example():
+    # Three fully separated groups of 3: H = 7.2, p ~ 0.0273 (scipy).
+    h, p = kruskal_wallis([[1, 2, 3], [4, 5, 6], [7, 8, 9]])
+    assert h == pytest.approx(7.2)
+    assert p == pytest.approx(0.02732, abs=1e-4)
+
+
+def test_kruskal_wallis_identical_groups():
+    h, p = kruskal_wallis([[1, 2, 3], [1, 2, 3], [1, 2, 3]])
+    assert h == pytest.approx(0.0, abs=1e-12)
+    assert p == pytest.approx(1.0)
+
+
+def test_kruskal_wallis_needs_two_groups():
+    with pytest.raises(ValueError):
+        kruskal_wallis([[1, 2, 3]])

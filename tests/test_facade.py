@@ -85,18 +85,23 @@ def test_channel_handle_tolerates_explicit_close():
 
 
 # ----------------------------------------------------------------------
-# deprecation shims
+# keyword-only construction (the 1.2 API: no positional shim)
 # ----------------------------------------------------------------------
-def test_positional_vorx_system_warns_but_works():
-    with pytest.warns(DeprecationWarning):
-        system = VorxSystem(3)
-    assert len(system.nodes) == 3
+def test_positional_vorx_system_raises_type_error():
+    with pytest.raises(TypeError):
+        VorxSystem(3)
 
 
-def test_positional_and_keyword_conflict_raises():
-    with pytest.warns(DeprecationWarning):
-        with pytest.raises(TypeError, match="n_nodes"):
-            VorxSystem(3, n_nodes=4)
+def test_version_is_current():
+    assert repro.__version__ == "1.2.0"
+
+
+def test_experiment_surface_exported():
+    for name in ("Experiment", "Scenario", "RunResult", "RunTable",
+                 "Workload", "WorkloadResult", "ArrivalProcess",
+                 "PoissonArrivals", "FixedRateArrivals", "MMPPArrivals"):
+        assert name in repro.__all__
+        assert getattr(repro, name) is not None
 
 
 # ----------------------------------------------------------------------
