@@ -39,6 +39,16 @@ Workloads
     routing-hops / link-contention comparison.  The engine measurement
     is the hypercube run; the ``*_hyperx`` / ``*_mesh`` keys ride
     alongside it.
+``hypercube_1024_mm``
+    The multi-million-event production-scale run: the same 1024-endpoint
+    hypercube under the conservative-parallel sharded engine
+    (``repro.sim.parallel``), ~100 partners per endpoint (>= 2M engine
+    events), measured at ``workers=1`` (in-process) and ``workers=N``
+    (multiprocessing).  The engine measurement is the parallel run;
+    serial/parallel rates, the speedup, round count and the
+    cross-worker determinism check ride alongside.  ``host_cpus``
+    records how many cores the measurement had -- the parallel speedup
+    is only meaningful on a multi-core host.
 
 Results land in ``BENCH_simcore.json`` at the repo root so future PRs
 have a wall-clock trajectory.  Record the pre-change baseline with
@@ -50,6 +60,7 @@ Usage::
     python scripts/perf.py                  # full run -> BENCH_simcore.json
     python scripts/perf.py --baseline       # record the baseline slot
     python scripts/perf.py --smoke --output /tmp/b.json --check-floor
+    python scripts/perf.py --profile --smoke --output /tmp/b.json
     python scripts/perf.py --validate BENCH_simcore.json
 """
 
@@ -57,12 +68,19 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
 from pathlib import Path
 
-from repro import FaultPlan, VorxSystem, create_fabric, run_all_pairs
+from repro import (
+    FaultPlan,
+    ShardedSimulator,
+    VorxSystem,
+    create_fabric,
+    run_all_pairs,
+)
 from repro.model.costs import CostModel
 from repro.sim import Simulator
 from repro.vorx.sliding_window import run_large_write, run_sliding_window
@@ -306,6 +324,72 @@ def wl_hypercube(params: dict) -> dict:
     return primary
 
 
+def wl_hypercube_mm(params: dict) -> dict:
+    """Multi-million-event hypercube on the sharded parallel engine.
+
+    Runs the identical all-pairs plan twice through
+    :class:`~repro.sim.parallel.ShardedSimulator` -- ``workers=1``
+    (in-process shards, the determinism reference) and ``workers=N``
+    (multiprocessing) -- and requires the two result fingerprints to be
+    identical.  In smoke mode (``verify_unsharded``) the
+    delivered-message digest is additionally checked against a plain
+    single-:class:`Simulator` run of the same plan.  The engine
+    measurement is the parallel run; serial/parallel rates, the
+    speedup, and the sync-protocol round count ride alongside.
+    ``host_cpus`` records the core budget the speedup was measured
+    under -- on a single-core host the parallel run cannot beat the
+    serial one and ``parallel_speedup`` reports that honestly.
+    """
+    n, partners = params["endpoints"], params["partners"]
+    size, shards = params["message_bytes"], params["shards"]
+    n_workers = params["workers"]
+    runs = {}
+    for workers in (1, n_workers):
+        t0 = time.perf_counter()
+        sharded = ShardedSimulator(
+            "hypercube", n_endpoints=n, shards=shards, workers=workers
+        )
+        traffic = sharded.run_all_pairs(size=size, partners=partners)
+        runs[workers] = (traffic, time.perf_counter() - t0)
+    serial, serial_wall = runs[1]
+    parallel, parallel_wall = runs[n_workers]
+    if parallel.fingerprint() != serial.fingerprint():  # pragma: no cover
+        raise RuntimeError(
+            f"workers={n_workers} fingerprint diverged from workers=1"
+        )
+    if params.get("verify_unsharded"):
+        sim = Simulator()
+        _disable_tracing(sim)
+        fabric = create_fabric("hypercube", sim, CostModel(), n_endpoints=n)
+        reference = run_all_pairs(fabric, size=size, partners=partners)
+        if reference.digest != parallel.digest:  # pragma: no cover
+            raise RuntimeError("sharded digest diverged from unsharded run")
+    serial_rate = serial.events / serial_wall if serial_wall > 0 else 0.0
+    parallel_rate = (
+        parallel.events / parallel_wall if parallel_wall > 0 else 0.0
+    )
+    return {
+        "events": parallel.events,
+        "wall_s": round(parallel_wall, 6),
+        "sim_us": round(parallel.duration_us, 3),
+        "events_per_sec": round(parallel_rate, 1),
+        "sim_us_per_wall_s": (
+            round(parallel.duration_us / parallel_wall, 1)
+            if parallel_wall > 0 else 0.0
+        ),
+        "events_per_sec_serial": round(serial_rate, 1),
+        "events_per_sec_parallel": round(parallel_rate, 1),
+        "parallel_workers": n_workers,
+        "parallel_speedup": (
+            round(parallel_rate / serial_rate, 2) if serial_rate > 0 else 0.0
+        ),
+        "shards": parallel.shards,
+        "rounds": parallel.rounds,
+        "boundary_messages": parallel.boundary_messages,
+        "host_cpus": os.cpu_count() or 1,
+    }
+
+
 WORKLOADS = {
     "pingpong_4b": {
         "fn": wl_pingpong,
@@ -351,6 +435,15 @@ WORKLOADS = {
         "full": {"endpoints": 1024, "partners": 4, "message_bytes": 64},
         "smoke": {"endpoints": 64, "partners": 2, "message_bytes": 64},
     },
+    "hypercube_1024_mm": {
+        "fn": wl_hypercube_mm,
+        "description": "multi-million-event 1024-endpoint hypercube on the "
+                       "sharded parallel engine, workers=1 vs workers=N",
+        "full": {"endpoints": 1024, "partners": 100, "message_bytes": 64,
+                 "shards": 8, "workers": 4},
+        "smoke": {"endpoints": 64, "partners": 2, "message_bytes": 64,
+                  "shards": 4, "workers": 2, "verify_unsharded": True},
+    },
 }
 
 
@@ -375,6 +468,16 @@ _WORKLOAD_EXTRA_KEYS: dict[str, dict] = {
         for metric in (
             "avg_hops", "max_hops", "reserve_stalls", "reserve_stall_us",
         )
+    },
+    "hypercube_1024_mm": {
+        "events_per_sec_serial": (int, float),
+        "events_per_sec_parallel": (int, float),
+        "parallel_workers": (int,),
+        "parallel_speedup": (int, float),
+        "shards": (int,),
+        "rounds": (int,),
+        "boundary_messages": (int,),
+        "host_cpus": (int,),
     },
 }
 
@@ -406,6 +509,25 @@ def validate(doc: dict) -> list[str]:
                     problems.append(f"{name}.{slot}.{key}: bad value {value!r}")
                 elif key in ("events", "events_per_sec") and value <= 0:
                     problems.append(f"{name}.{slot}.{key}: must be positive")
+    # Every workload must fill the same slots: a file where some
+    # workloads carry a baseline and others do not cannot support the
+    # baseline-vs-current speedup story the trajectory chart tells.
+    shapes: dict[str, tuple] = {
+        name: tuple(s for s in ("baseline", "current") if entry.get(s))
+        for name, entry in workloads.items()
+        if isinstance(entry, dict)
+    }
+    if len(set(shapes.values())) > 1:
+        by_shape: dict[tuple, list[str]] = {}
+        for name, shape in shapes.items():
+            by_shape.setdefault(shape, []).append(name)
+        detail = "; ".join(
+            f"[{'+'.join(shape) or 'none'}] {', '.join(sorted(members))}"
+            for shape, members in sorted(by_shape.items())
+        )
+        problems.append(
+            f"workloads carry mismatched measurement slots: {detail}"
+        )
     return problems
 
 
@@ -420,7 +542,18 @@ def run_workloads(names, mode: str, repeat: int) -> dict[str, dict]:
         best = None
         for _ in range(repeat):
             result = spec["fn"](dict(params))
-            if best is None or result["wall_s"] < best["wall_s"]:
+            # Best-of-N selects the rep with the highest engine rate
+            # (tie broken by wall time) and keeps that rep's WHOLE
+            # measurement, so the extra keys (hops, stalls, speedups)
+            # always describe the run the rate came from.
+            if (
+                best is None
+                or result["events_per_sec"] > best["events_per_sec"]
+                or (
+                    result["events_per_sec"] == best["events_per_sec"]
+                    and result["wall_s"] < best["wall_s"]
+                )
+            ):
                 best = result
         measured[name] = best
         print(
@@ -433,6 +566,32 @@ def run_workloads(names, mode: str, repeat: int) -> dict[str, dict]:
     return measured
 
 
+def profile_workloads(names, mode: str) -> None:
+    """cProfile each workload; write top-25 cumulative stats per workload.
+
+    Profiles are a diagnosis artifact, not a measurement: profiler
+    overhead distorts the rates, so nothing is recorded into the
+    results JSON.  One ``BENCH_profile_<workload>.txt`` lands at the
+    repo root per workload.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    for name in names:
+        spec = WORKLOADS[name]
+        profiler = cProfile.Profile()
+        profiler.enable()
+        spec["fn"](dict(spec[mode]))
+        profiler.disable()
+        stream = io.StringIO()
+        pstats.Stats(profiler, stream=stream) \
+            .sort_stats("cumulative").print_stats(25)
+        path = REPO_ROOT / f"BENCH_profile_{name}.txt"
+        path.write_text(stream.getvalue())
+        print(f"{name:20s} -> {path.name}", file=sys.stderr)
+
+
 def merge(existing: dict, measured: dict, mode: str, slot: str) -> dict:
     doc = existing if existing.get("schema") == SCHEMA else {}
     workloads = doc.get("workloads", {})
@@ -441,6 +600,13 @@ def merge(existing: dict, measured: dict, mode: str, slot: str) -> dict:
         entry["description"] = WORKLOADS[name]["description"]
         entry["params"] = WORKLOADS[name][mode]
         entry[slot] = measurement
+        other = "current" if slot == "baseline" else "baseline"
+        if not entry.get(other):
+            # First recording of a workload seeds BOTH slots, so the
+            # file is always slot-symmetric (validate() enforces this):
+            # the speedup starts at 1.0 and moves once either slot is
+            # re-recorded.
+            entry[other] = measurement
         baseline = entry.get("baseline")
         current = entry.get("current")
         if baseline and current:
@@ -470,7 +636,12 @@ def main(argv=None) -> int:
                         help="comma-separated subset of: "
                              + ",".join(WORKLOADS))
     parser.add_argument("--repeat", type=int, default=1,
-                        help="run each workload N times, keep the fastest")
+                        help="run each workload N times, keep the "
+                             "highest-rate rep")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile each workload, write top-25 cumulative "
+                             "stats to BENCH_profile_<workload>.txt, and skip "
+                             "recording measurements")
     parser.add_argument("--check-floor", action="store_true",
                         help="exit non-zero if any workload is more than "
                              f"{FLOOR_HEADROOM:.0f}x below the events/sec floor")
@@ -490,7 +661,7 @@ def main(argv=None) -> int:
     mode = "smoke" if args.smoke else "full"
     output = args.output
     if output is None:
-        if args.smoke:
+        if args.smoke and not args.profile:
             print("--smoke requires --output (committed BENCH_simcore.json "
                   "holds full-run numbers)", file=sys.stderr)
             return 2
@@ -503,6 +674,10 @@ def main(argv=None) -> int:
         if unknown:
             print(f"unknown workloads: {unknown}", file=sys.stderr)
             return 2
+
+    if args.profile:
+        profile_workloads(names, mode)
+        return 0
 
     measured = run_workloads(names, mode, max(1, args.repeat))
 

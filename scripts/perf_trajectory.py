@@ -34,7 +34,7 @@ from pathlib import Path
 #: chart carries the relief the validator requires: a legend plus visible
 #: end-of-line labels for every series.
 SERIES_COLORS = ("#2a78d6", "#eb6834", "#1baf7a", "#eda100", "#e87ba4",
-                 "#8a6ee6", "#5a8797")
+                 "#8a6ee6", "#5a8797", "#a0713c")
 SURFACE = "#fcfcfb"
 INK_PRIMARY = "#0b0b0b"
 INK_SECONDARY = "#52514e"
@@ -53,6 +53,7 @@ WORKLOAD_SLOTS = (
     "large_write_1mb",
     "cancel_churn",
     "hypercube_1024",
+    "hypercube_1024_mm",
 )
 
 FONT = 'system-ui, -apple-system, "Segoe UI", sans-serif'

@@ -48,8 +48,10 @@ from repro.exp import (
 )
 from repro.fabric import (
     FabricBackend,
+    FabricPartition,
     available_topologies,
     create_fabric,
+    partition_fabric,
     run_all_pairs,
     run_hot_spot,
 )
@@ -59,6 +61,7 @@ from repro.metrics import MetricsRegistry, Vstat
 from repro.metrics.report import summarize, write_jsonl
 from repro.model import DEFAULT_COSTS, CostModel
 from repro.sim import Simulator
+from repro.sim.parallel import ShardedSimulator, ShardedTrafficResult
 from repro.vorx import ChannelHandle, Env, NodeKernel, VorxSystem
 from repro.workload import (
     ArrivalProcess,
@@ -73,7 +76,7 @@ from repro.workload import (
 # dependency direction obvious.
 from repro.tools import Cdb, Prof, SoftwareOscilloscope, Vdb
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # systems
@@ -113,12 +116,16 @@ __all__ = [
     "Vdb",
     # interconnects
     "FabricBackend",
+    "FabricPartition",
     "available_topologies",
     "create_fabric",
+    "partition_fabric",
     "run_all_pairs",
     "run_hot_spot",
     # building blocks
     "Simulator",
+    "ShardedSimulator",
+    "ShardedTrafficResult",
     "CostModel",
     "DEFAULT_COSTS",
     "__version__",

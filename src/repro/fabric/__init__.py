@@ -17,6 +17,13 @@ Quick start::
 """
 
 from repro.fabric.base import FabricBackend
+from repro.fabric.partition import (
+    FabricPartition,
+    ShardFabric,
+    TopologySpec,
+    partition_fabric,
+    partition_spec,
+)
 from repro.fabric.registry import (
     available_topologies,
     create_fabric,
@@ -26,8 +33,13 @@ from repro.fabric.traffic import TrafficResult, run_all_pairs, run_hot_spot
 
 __all__ = [
     "FabricBackend",
+    "FabricPartition",
+    "ShardFabric",
+    "TopologySpec",
     "available_topologies",
     "create_fabric",
+    "partition_fabric",
+    "partition_spec",
     "register_backend",
     "TrafficResult",
     "run_all_pairs",

@@ -42,6 +42,34 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.hpc.message import Packet
 
 
+def first_hop_ports(
+    adjacency: list[list[tuple[int, int]]], start: int
+) -> dict[int, int]:
+    """BFS first-hop table: reachable cluster -> output port at ``start``.
+
+    ``adjacency[c]`` lists ``(port, neighbour)`` pairs in port order;
+    visiting neighbours in that order gives deterministic shortest-hop
+    routes (dimension-ordered on hypercubes).  Both the full-fabric
+    :meth:`Fabric.build_routes` and the per-shard rebuild in
+    :mod:`repro.fabric.partition` call this one function, so a shard
+    computes byte-identical routes to the unsharded fabric.
+    """
+    next_hop: dict[int, int] = {start: -1}
+    frontier = deque([start])
+    first_port: dict[int, int] = {}
+    while frontier:
+        current = frontier.popleft()
+        for port, neighbour in adjacency[current]:
+            if neighbour in next_hop:
+                continue
+            next_hop[neighbour] = port
+            first_port[neighbour] = (
+                port if current == start else first_port[current]
+            )
+            frontier.append(neighbour)
+    return first_port
+
+
 class Fabric(FabricBackend):
     """A wired HPC interconnect: clusters, interfaces, and routes."""
 
@@ -57,6 +85,12 @@ class Fabric(FabricBackend):
         self.attachments: dict[int, tuple[int, int]] = {}
         #: (cluster index, port) -> neighbour cluster index
         self._cluster_edges: dict[tuple[int, int], int] = {}
+        #: Every cluster-to-cluster wire as ``(a, a_port, b, b_port)`` in
+        #: :meth:`connect_clusters` call order -- the exact pairing of
+        #: ports on both ends, which ``_cluster_edges`` (being a map per
+        #: direction) cannot reconstruct.  The partitioner reads this to
+        #: rebuild shard-local slices with identical wiring.
+        self.cluster_links: list[tuple[int, int, int, int]] = []
         self._next_address = 0
 
     # -- construction -----------------------------------------------------
@@ -104,6 +138,9 @@ class Fabric(FabricBackend):
         )
         self._cluster_edges[(a.cluster_id, a_port)] = b.cluster_id
         self._cluster_edges[(b.cluster_id, b_port)] = a.cluster_id
+        self.cluster_links.append(
+            (a.cluster_id, a_port, b.cluster_id, b_port)
+        )
 
     def _check_port_free(self, cluster: Cluster, port: int) -> None:
         if not 0 <= port < cluster.n_ports:
@@ -131,20 +168,7 @@ class Fabric(FabricBackend):
             adjacency[cid].append((port, neighbour))
 
         for start in range(n):
-            # next_hop[c] = port to take *from start* toward cluster c.
-            next_hop: dict[int, int] = {start: -1}
-            frontier = deque([start])
-            first_port: dict[int, int] = {}
-            while frontier:
-                current = frontier.popleft()
-                for port, neighbour in adjacency[current]:
-                    if neighbour in next_hop:
-                        continue
-                    next_hop[neighbour] = port
-                    first_port[neighbour] = (
-                        port if current == start else first_port[current]
-                    )
-                    frontier.append(neighbour)
+            first_port = first_hop_ports(adjacency, start)
             cluster = self.clusters[start]
             for address, (home, attach_port) in self.attachments.items():
                 if home == start:

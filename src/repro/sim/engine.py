@@ -54,6 +54,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from collections import deque
+from math import nextafter
 from typing import Any, Callable, Generator, Optional
 
 from repro.metrics.events import Vstat
@@ -711,6 +712,23 @@ class Simulator:
         self._drain(None, deadline)
         self._now = deadline
         return None
+
+    def run_window(self, bound: float) -> None:
+        """Process every occurrence *strictly before* ``bound``.
+
+        The conservative-parallel shard loop (:mod:`repro.sim.parallel`)
+        runs each shard in windows: occurrences *at* the window boundary
+        must not run until the orchestrator has delivered any cross-shard
+        messages arriving exactly at ``bound``, so the drain deadline is
+        the largest float below ``bound`` (the inner loop's deadline test
+        is inclusive).  Unlike :meth:`run`, the clock is left at the last
+        processed occurrence rather than advanced to ``bound`` -- the
+        next window's injected arrivals are all at or beyond ``bound``,
+        so delays computed against ``now`` stay non-negative either way,
+        and :meth:`peek` keeps exporting the true next-occurrence time
+        (the shard's LBTS contribution).
+        """
+        self._drain(None, nextafter(bound, -_INFINITY))
 
 
 # Bottom import: Process subclasses Event and only type-references

@@ -1,0 +1,550 @@
+"""Conservative-parallel execution: sharded simulators with lookahead windows.
+
+:class:`ShardedSimulator` partitions a cluster fabric into *shards*
+(contiguous cluster blocks, see :mod:`repro.fabric.partition`), builds
+one independent :class:`~repro.sim.engine.Simulator` per shard, and
+advances them in **conservative windows** (Chandy-Misra-Bryant, batched
+per window instead of per null message):
+
+1. Every round the orchestrator knows each shard's next pending event
+   time (its LBTS contribution, from
+   :meth:`~repro.sim.engine.Simulator.peek`) and holds every in-flight
+   cross-shard message.  ``base(i)`` is the earliest thing shard *i*
+   could possibly execute: ``min(next event, earliest held arrival)``.
+2. A shard can also be affected by messages its neighbours have not
+   sent yet, but never earlier than ``T(j) + lookahead(j, i)`` -- the
+   boundary link's minimum latency.  The least fixpoint ``T(i) =
+   min(base(i), min_j T(j) + L(j, i))`` (computed with one Dijkstra
+   relaxation over the shard graph) is each shard's true lower bound,
+   and ``W(i) = min_j (T(j) + L(j, i))`` is the time it may safely
+   advance *to* (exclusive).
+3. Held messages are delivered, every shard with work runs
+   :meth:`~repro.sim.engine.Simulator.run_window` to its ``W(i)``, and
+   the round's captured boundary messages flow back to the
+   orchestrator.  Soundness: boundary links capture at pickup with
+   ``arrival = pickup + wire >= T(j) + L``, so no delivered window ever
+   overruns an uncaptured message.  Progress: the global minimum
+   advances by at least the lookahead per round.
+
+``workers=1`` runs every shard in-process (single thread, zero IPC) --
+the debugging and determinism mode; ``workers=N`` forks worker
+processes that each own a subset of shards and exchange compact
+tuple-encoded batches over pipes (no live simulator ever crosses a
+process boundary).  The round structure is computed only from shard
+state, never from worker assignment, so results -- including the
+schedule-sensitive :meth:`ShardedTrafficResult.fingerprint` -- are
+identical for every worker count; the delivered-message
+:attr:`ShardedTrafficResult.digest` additionally equals the unsharded
+:func:`repro.fabric.traffic.run_all_pairs` digest for the same plan
+(backend parity).  Fault plans are not supported across shard
+boundaries.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+from dataclasses import dataclass
+from hashlib import sha256
+from typing import TYPE_CHECKING, Optional
+
+from repro.fabric.partition import (
+    FabricPartition,
+    ShardFabric,
+    TopologySpec,
+    decode_packet,
+    partition_spec,
+)
+from repro.fabric.traffic import _digest, _partner_offsets
+from repro.hpc.message import MessageKind, Packet
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.model.costs import CostModel
+
+_INFINITY = float("inf")
+
+
+@dataclass(frozen=True)
+class ShardedTrafficResult:
+    """Outcome of one sharded traffic drive.
+
+    The first seven fields match :class:`~repro.fabric.traffic
+    .TrafficResult` (same semantics, same digest construction), so the
+    parity assertion is simply ``sharded.digest == unsharded.digest``.
+    """
+
+    sent: int
+    delivered: int
+    payload_bytes: int
+    duration_us: float
+    avg_hops: float
+    max_hops: int
+    digest: str
+    #: Synchronization rounds the window protocol took.
+    rounds: int
+    shards: int
+    workers: int
+    #: Engine occurrences processed, summed over every shard.
+    events: int
+    #: Messages that crossed a shard boundary (captures, not fibres).
+    boundary_messages: int
+    lookahead_us: float
+
+    def fingerprint(self) -> str:
+        """Schedule-sensitive digest for sharded-run goldens.
+
+        Folds in everything deterministic for a fixed seed and shard
+        count but *excludes* ``workers``: the window protocol is
+        worker-assignment-independent, and the cross-worker-count
+        equality of this fingerprint is exactly what the parallel
+        determinism tests pin.
+        """
+        tail = (
+            f"|t={self.duration_us!r}|hops={self.avg_hops!r}"
+            f"|max={self.max_hops}|n={self.delivered}"
+            f"|rounds={self.rounds}|shards={self.shards}"
+            f"|events={self.events}|bm={self.boundary_messages}"
+        )
+        return sha256((self.digest + tail).encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Drive plans (picklable descriptions, expanded identically everywhere)
+# ---------------------------------------------------------------------------
+def _expand_plan(spec: TopologySpec, drive: dict) -> dict[int, list[int]]:
+    """Expand a drive description into the global src -> dsts plan.
+
+    Every worker recomputes the *global* plan from the spec (cheap,
+    deterministic) and then drives only its local senders/receivers --
+    simpler and smaller on the wire than shipping per-shard plan
+    slices.
+    """
+    kind = drive["kind"]
+    if kind == "all_pairs":
+        addresses = spec.addresses
+        n = len(addresses)
+        if n < 2:
+            raise ValueError(f"all-pairs needs at least 2 endpoints, got {n}")
+        partners = drive.get("partners")
+        offsets = _partner_offsets(
+            n, partners if partners is not None else n - 1
+        )
+        return {
+            addresses[i]: [addresses[(i + o) % n] for o in offsets]
+            for i in range(n)
+        }
+    if kind == "plan":
+        return {
+            int(src): [int(dst) for dst in dsts]
+            for src, dsts in drive["plan"].items()
+        }
+    raise ValueError(f"unknown drive kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# One shard's runtime (lives in whichever process owns the shard)
+# ---------------------------------------------------------------------------
+class _ShardRuntime:
+    """A shard's simulator, fabric slice, and traffic bookkeeping."""
+
+    def __init__(
+        self,
+        spec: TopologySpec,
+        partition: FabricPartition,
+        shard_id: int,
+        costs: "CostModel",
+    ) -> None:
+        self.shard_id = shard_id
+        self.sim = Simulator()
+        self.outbox: list = []
+        self.fabric = ShardFabric(
+            self.sim, costs, spec, partition, shard_id, self.outbox
+        )
+        self.records: list = []
+        self.hops: list[int] = []
+        self.sent = 0
+
+    def start_drive(self, drive: dict) -> None:
+        """Spawn this shard's receivers and senders (mirrors
+        :func:`repro.fabric.traffic._drive`: receivers first, then
+        senders, both in address order)."""
+        plan = _expand_plan(self.fabric.spec, drive)
+        size = drive["size"]
+        local = self.fabric.attachments
+        expected: dict[int, int] = {}
+        for src, dsts in plan.items():
+            for dst in dsts:
+                if dst in local:
+                    expected[dst] = expected.get(dst, 0) + 1
+        fabric = self.fabric
+        records = self.records
+        hops = self.hops
+
+        def receiver(address: int, count: int):
+            for _ in range(count):
+                packet = yield from fabric.recv(address)
+                records.append(
+                    (packet.src, packet.dst, packet.size, packet.payload)
+                )
+                hops.append(packet.hops)
+
+        def sender(src: int, dsts: list[int]):
+            for dst in dsts:
+                packet = Packet(
+                    src=src, dst=dst, size=size,
+                    kind=MessageKind.USER_OBJECT, payload=f"{src}->{dst}",
+                )
+                yield from fabric.send(src, packet)
+
+        for address, count in sorted(expected.items()):
+            self.sim.process(receiver(address, count))
+        for src in sorted(plan):
+            dsts = plan[src]
+            if src in local and dsts:
+                self.sim.process(sender(src, dsts))
+                self.sent += len(dsts)
+
+    def run_round(self, bound: float, incoming: list) -> tuple[float, list]:
+        """Deliver ``incoming``, drain strictly below ``bound``, and
+        return ``(next event time, captured boundary messages)``."""
+        fabric = self.fabric
+        for arrival, cid, port, data in incoming:
+            fabric.inject(arrival, cid, port, decode_packet(data))
+        self.sim.run_window(bound)
+        out = list(self.outbox)
+        self.outbox.clear()
+        return self.sim.peek(), out
+
+    def result(self) -> dict:
+        return {
+            "records": self.records,
+            "hops": self.hops,
+            "processed": self.sim.processed,
+            "now": self.sim.now,
+            "sent": self.sent,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Worker transports
+# ---------------------------------------------------------------------------
+class _InProcessWorkers:
+    """All shards in this process -- the ``workers=1`` debug/golden mode."""
+
+    def __init__(self, spec, partition, costs, shard_ids, drive) -> None:
+        self.runtimes: dict[int, _ShardRuntime] = {}
+        for sid in shard_ids:
+            runtime = _ShardRuntime(spec, partition, sid, costs)
+            runtime.start_drive(drive)
+            self.runtimes[sid] = runtime
+
+    def ready(self) -> dict[int, float]:
+        return {sid: rt.sim.peek() for sid, rt in self.runtimes.items()}
+
+    def round(self, batch: dict) -> dict:
+        return {
+            sid: self.runtimes[sid].run_round(bound, incoming)
+            for sid, (bound, incoming) in batch.items()
+        }
+
+    def finish(self) -> dict:
+        return {sid: rt.result() for sid, rt in self.runtimes.items()}
+
+    def close(self) -> None:
+        pass
+
+
+def _worker_main(conn, spec, partition, costs, shard_ids, drive) -> None:
+    """Worker-process entry: build the owned shards, then serve rounds."""
+    runtimes: dict[int, _ShardRuntime] = {}
+    for sid in shard_ids:
+        runtime = _ShardRuntime(spec, partition, sid, costs)
+        runtime.start_drive(drive)
+        runtimes[sid] = runtime
+    conn.send(("ready", {sid: rt.sim.peek() for sid, rt in runtimes.items()}))
+    while True:
+        message = conn.recv()
+        if message[0] == "round":
+            conn.send((
+                "round",
+                {
+                    sid: runtimes[sid].run_round(bound, incoming)
+                    for sid, (bound, incoming) in message[1].items()
+                },
+            ))
+        elif message[0] == "finish":
+            conn.send(
+                ("result", {sid: rt.result() for sid, rt in runtimes.items()})
+            )
+            conn.close()
+            return
+        else:  # pragma: no cover - protocol guard
+            raise RuntimeError(f"unknown worker message {message[0]!r}")
+
+
+class _ProcessWorkers:
+    """Shards spread over ``multiprocessing`` worker processes."""
+
+    def __init__(self, spec, partition, costs, assignment, drive) -> None:
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        self.owner: dict[int, int] = {}
+        self.conns = []
+        self.procs = []
+        for index, shard_ids in enumerate(assignment):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, spec, partition, costs, shard_ids, drive),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self.conns.append(parent_conn)
+            self.procs.append(proc)
+            for sid in shard_ids:
+                self.owner[sid] = index
+
+    def _recv(self, conn, expect: str):
+        kind, payload = conn.recv()
+        if kind != expect:  # pragma: no cover - protocol guard
+            raise RuntimeError(f"expected {expect!r} reply, got {kind!r}")
+        return payload
+
+    def ready(self) -> dict[int, float]:
+        merged: dict[int, float] = {}
+        for conn in self.conns:
+            merged.update(self._recv(conn, "ready"))
+        return merged
+
+    def round(self, batch: dict) -> dict:
+        per_worker: dict[int, dict] = {}
+        for sid, work in batch.items():
+            per_worker.setdefault(self.owner[sid], {})[sid] = work
+        for index, sub in per_worker.items():
+            self.conns[index].send(("round", sub))
+        merged: dict = {}
+        for index in per_worker:
+            merged.update(self._recv(self.conns[index], "round"))
+        return merged
+
+    def finish(self) -> dict:
+        for conn in self.conns:
+            conn.send(("finish",))
+        merged: dict = {}
+        for conn in self.conns:
+            merged.update(self._recv(conn, "result"))
+        return merged
+
+    def close(self) -> None:
+        for conn in self.conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - teardown best effort
+                pass
+        for proc in self.procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - teardown best effort
+                proc.terminate()
+                proc.join(timeout=5.0)
+
+
+# ---------------------------------------------------------------------------
+# The orchestrator
+# ---------------------------------------------------------------------------
+class ShardedSimulator:
+    """Conservative-parallel traffic runs over a partitioned fabric.
+
+    ``shards`` fixes the partition (and therefore the schedule);
+    ``workers`` only chooses how the shards are executed -- results are
+    identical for every worker count.  The fabric is built once on a
+    scratch simulator purely to extract its :class:`TopologySpec`;
+    every shard then rebuilds its own slice locally.
+    """
+
+    def __init__(
+        self,
+        topology: str = "hypercube",
+        *,
+        n_endpoints: int,
+        shards: int,
+        workers: int = 1,
+        costs: Optional["CostModel"] = None,
+        **options,
+    ) -> None:
+        from repro.fabric.registry import create_fabric
+        from repro.hpc.topology import Fabric
+        from repro.model import DEFAULT_COSTS
+
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.costs = costs if costs is not None else DEFAULT_COSTS
+        scratch = Simulator()
+        fabric = create_fabric(
+            topology, scratch, self.costs, n_endpoints, **options
+        )
+        if not isinstance(fabric, Fabric):
+            raise ValueError(
+                f"sharding needs a cluster fabric, got "
+                f"{fabric.topology_name!r} (no cluster structure)"
+            )
+        self.spec = TopologySpec.of(fabric)
+        self.partition = partition_spec(self.spec, shards, self.costs)
+        self.workers = workers
+
+    @property
+    def n_shards(self) -> int:
+        return self.partition.n_shards
+
+    @property
+    def lookahead_us(self) -> float:
+        return self.partition.lookahead_us
+
+    # -- drives ---------------------------------------------------------------
+    def run_all_pairs(
+        self, *, size: int = 64, partners: Optional[int] = None
+    ) -> ShardedTrafficResult:
+        """Sharded :func:`repro.fabric.traffic.run_all_pairs`."""
+        return self._run(
+            {"kind": "all_pairs", "size": size, "partners": partners}
+        )
+
+    def run_plan(
+        self, plan: dict[int, list[int]], *, size: int = 64
+    ) -> ShardedTrafficResult:
+        """Run an explicit src -> destination-list plan."""
+        return self._run(
+            {
+                "kind": "plan",
+                "plan": {src: list(dsts) for src, dsts in plan.items()},
+                "size": size,
+            }
+        )
+
+    # -- the window protocol --------------------------------------------------
+    def _run(self, drive: dict) -> ShardedTrafficResult:
+        partition = self.partition
+        shard_ids = list(range(partition.n_shards))
+        n_workers = min(self.workers, len(shard_ids))
+        if n_workers == 1:
+            transport = _InProcessWorkers(
+                self.spec, partition, self.costs, shard_ids, drive
+            )
+        else:
+            assignment = [shard_ids[w::n_workers] for w in range(n_workers)]
+            transport = _ProcessWorkers(
+                self.spec, partition, self.costs, assignment, drive
+            )
+        try:
+            rounds, boundary_messages, results = self._window_loop(
+                transport, shard_ids
+            )
+        finally:
+            transport.close()
+        return self._aggregate(rounds, boundary_messages, results)
+
+    def _window_loop(self, transport, shard_ids) -> tuple[int, int, dict]:
+        partition = self.partition
+        neighbours = partition.neighbours()
+        lookahead = partition.pair_lookahead_map()
+        next_time = transport.ready()
+        #: Every in-flight cross-shard message, held here between rounds:
+        #: (arrival, cluster, port, packet tuple, src shard, capture idx).
+        held: dict[int, list] = {sid: [] for sid in shard_ids}
+        captured = {sid: 0 for sid in shard_ids}
+        rounds = 0
+        boundary_messages = 0
+        while True:
+            base = {}
+            for sid in shard_ids:
+                earliest = next_time[sid]
+                for entry in held[sid]:
+                    if entry[0] < earliest:
+                        earliest = entry[0]
+                base[sid] = earliest
+            if all(value == _INFINITY for value in base.values()):
+                return rounds, boundary_messages, transport.finish()
+            # Least fixpoint T(i) = min(base(i), min_j T(j) + L(j, i)):
+            # Dijkstra relaxation over the shard graph.
+            bound = dict(base)
+            heap = [
+                (value, sid) for sid, value in bound.items()
+                if value < _INFINITY
+            ]
+            heapq.heapify(heap)
+            while heap:
+                value, sid = heapq.heappop(heap)
+                if value > bound[sid]:
+                    continue
+                for peer in neighbours[sid]:
+                    candidate = value + lookahead[(sid, peer)]
+                    if candidate < bound[peer]:
+                        bound[peer] = candidate
+                        heapq.heappush(heap, (candidate, peer))
+            batch = {}
+            for sid in shard_ids:
+                window = min(
+                    (
+                        bound[peer] + lookahead[(peer, sid)]
+                        for peer in neighbours[sid]
+                    ),
+                    default=_INFINITY,
+                )
+                incoming = held[sid]
+                if not incoming and not next_time[sid] < window:
+                    continue  # nothing to deliver, nothing below the bound
+                if incoming:
+                    incoming.sort(key=lambda e: (e[0], e[4], e[5]))
+                    held[sid] = []
+                batch[sid] = (
+                    window, [entry[:4] for entry in incoming]
+                )
+            if not batch:  # pragma: no cover - progress is guaranteed
+                raise RuntimeError(
+                    "conservative window protocol made no progress"
+                )
+            for sid, (next_t, out) in transport.round(batch).items():
+                next_time[sid] = next_t
+                for arrival, dest_shard, cluster, port, data in out:
+                    held[dest_shard].append(
+                        (arrival, cluster, port, data, sid, captured[sid])
+                    )
+                    captured[sid] += 1
+                    boundary_messages += 1
+            rounds += 1
+
+    def _aggregate(
+        self, rounds: int, boundary_messages: int, results: dict
+    ) -> ShardedTrafficResult:
+        records: list = []
+        hops: list[int] = []
+        sent = 0
+        events = 0
+        duration = 0.0
+        for sid in sorted(results):
+            shard = results[sid]
+            records.extend(shard["records"])
+            hops.extend(shard["hops"])
+            sent += shard["sent"]
+            events += shard["processed"]
+            if shard["now"] > duration:
+                duration = shard["now"]
+        delivered = len(records)
+        return ShardedTrafficResult(
+            sent=sent,
+            delivered=delivered,
+            payload_bytes=sum(record[2] for record in records),
+            duration_us=duration,
+            avg_hops=(sum(hops) / delivered) if delivered else 0.0,
+            max_hops=max(hops, default=0),
+            digest=_digest(records),
+            rounds=rounds,
+            shards=self.partition.n_shards,
+            workers=self.workers,
+            events=events,
+            boundary_messages=boundary_messages,
+            lookahead_us=self.partition.lookahead_us,
+        )
