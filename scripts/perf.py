@@ -207,7 +207,9 @@ def wl_large_write(params: dict) -> dict:
     the tentpole's acceptance number (>= 1.3x).
     """
     total, window = params["total_bytes"], params["window"]
-    unbatched = run_large_write(total_bytes=total)
+    unbatched = run_large_write(
+        total_bytes=total, costs=CostModel().unbatched()
+    )
     t0 = time.perf_counter()
     batched = run_large_write(
         total_bytes=total, costs=CostModel().batched(window=window)
@@ -220,6 +222,75 @@ def wl_large_write(params: dict) -> dict:
     result["kbytes_per_sec_batched"] = round(batched.kbytes_per_sec, 1)
     result["batched_speedup_kbytes"] = round(
         batched.kbytes_per_sec / unbatched.kbytes_per_sec, 2
+    )
+    return result
+
+
+def wl_large_write_adaptive(params: dict) -> dict:
+    """1 MB bulk transfer, fixed window=k vs the AIMD adaptive window.
+
+    Two cases, both run for fixed and adaptive models (E23):
+
+    * *fast reader* (clean, reader consumes at full speed) -- the
+      adaptive window must match or beat the fixed window's simulated
+      throughput; the engine-rate measurement keys come from this
+      adaptive run.
+    * *slow lossy reader* (per-fragment reader compute + seeded
+      drop/corrupt plan) -- the go-back-N cost of a big fixed window is
+      highest here, and the adaptive window's shrink must buy a strictly
+      better p95 write-completion latency (``chan.write_rtt_us``).
+    """
+    total, window = params["total_bytes"], params["window"]
+    delay = params["reader_delay_us"]
+    drop, corrupt = params["drop"], params["corrupt"]
+    fixed_costs = CostModel().batched(window=window)
+    adaptive_costs = CostModel().adaptive()
+
+    def slow_plan():
+        return FaultPlan(seed=1990, drop=drop, corrupt=corrupt,
+                         channel_retry_timeout_us=2_000.0)
+
+    def p95_write_rtt(result):
+        histogram = result.sim.vstat.registry("node0").histogram(
+            "chan.write_rtt_us"
+        )
+        return histogram.percentile(95)
+
+    fixed_fast = run_large_write(total_bytes=total, costs=fixed_costs)
+    t0 = time.perf_counter()
+    adaptive_fast = run_large_write(total_bytes=total, costs=adaptive_costs)
+    wall = time.perf_counter() - t0
+    fixed_slow = run_large_write(
+        total_bytes=total, costs=fixed_costs,
+        reader_delay_us=delay, faults=slow_plan(),
+    )
+    adaptive_slow = run_large_write(
+        total_bytes=total, costs=adaptive_costs,
+        reader_delay_us=delay, faults=slow_plan(),
+    )
+    node0 = adaptive_fast.sim.vstat.registry("node0")
+    result = _result(adaptive_fast.sim, wall)
+    result["kbytes_per_sec_fixed"] = round(fixed_fast.kbytes_per_sec, 1)
+    result["kbytes_per_sec_adaptive"] = round(
+        adaptive_fast.kbytes_per_sec, 1
+    )
+    result["adaptive_speedup_kbytes"] = round(
+        adaptive_fast.kbytes_per_sec / fixed_fast.kbytes_per_sec, 3
+    )
+    result["window_max"] = int(node0.gauge("chan.window.size").max_value)
+    result["p95_write_rtt_us_fixed_slow"] = round(
+        p95_write_rtt(fixed_slow), 1
+    )
+    result["p95_write_rtt_us_adaptive_slow"] = round(
+        p95_write_rtt(adaptive_slow), 1
+    )
+    result["adaptive_p95_gain"] = round(
+        p95_write_rtt(fixed_slow) / p95_write_rtt(adaptive_slow), 3
+    )
+    result["window_shrinks_slow"] = int(
+        adaptive_slow.sim.vstat.registry("node0").value(
+            "chan.window.shrinks"
+        )
     )
     return result
 
@@ -428,6 +499,15 @@ WORKLOADS = {
         "full": {"total_bytes": 1_048_576, "window": 8},
         "smoke": {"total_bytes": 131_072, "window": 8},
     },
+    "large_write_1mb_adaptive": {
+        "fn": wl_large_write_adaptive,
+        "description": "1 MB bulk channel transfer, fixed window (k=8) vs "
+                       "AIMD adaptive window, fast and slow lossy readers",
+        "full": {"total_bytes": 1_048_576, "window": 8,
+                 "reader_delay_us": 120.0, "drop": 0.02, "corrupt": 0.01},
+        "smoke": {"total_bytes": 131_072, "window": 8,
+                  "reader_delay_us": 120.0, "drop": 0.02, "corrupt": 0.01},
+    },
     "hypercube_1024": {
         "fn": wl_hypercube,
         "description": "1024-endpoint incomplete hypercube all-pairs "
@@ -468,6 +548,16 @@ _WORKLOAD_EXTRA_KEYS: dict[str, dict] = {
         for metric in (
             "avg_hops", "max_hops", "reserve_stalls", "reserve_stall_us",
         )
+    },
+    "large_write_1mb_adaptive": {
+        "kbytes_per_sec_fixed": (int, float),
+        "kbytes_per_sec_adaptive": (int, float),
+        "adaptive_speedup_kbytes": (int, float),
+        "window_max": (int,),
+        "p95_write_rtt_us_fixed_slow": (int, float),
+        "p95_write_rtt_us_adaptive_slow": (int, float),
+        "adaptive_p95_gain": (int, float),
+        "window_shrinks_slow": (int,),
     },
     "hypercube_1024_mm": {
         "events_per_sec_serial": (int, float),

@@ -34,7 +34,7 @@ from pathlib import Path
 #: chart carries the relief the validator requires: a legend plus visible
 #: end-of-line labels for every series.
 SERIES_COLORS = ("#2a78d6", "#eb6834", "#1baf7a", "#eda100", "#e87ba4",
-                 "#8a6ee6", "#5a8797", "#a0713c")
+                 "#c24d6a", "#8a6ee6", "#5a8797", "#a0713c")
 SURFACE = "#fcfcfb"
 INK_PRIMARY = "#0b0b0b"
 INK_SECONDARY = "#52514e"
@@ -51,6 +51,7 @@ WORKLOAD_SLOTS = (
     "paper_scale_70x10",
     "faultstorm",
     "large_write_1mb",
+    "large_write_1mb_adaptive",
     "cancel_churn",
     "hypercube_1024",
     "hypercube_1024_mm",

@@ -76,7 +76,7 @@ from repro.workload import (
 # dependency direction obvious.
 from repro.tools import Cdb, Prof, SoftwareOscilloscope, Vdb
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     # systems

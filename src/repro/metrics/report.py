@@ -109,6 +109,26 @@ def channel_rtt_histogram(system) -> Optional[Histogram]:
     return merged
 
 
+def window_summary_rows(system) -> list[dict]:
+    """Per-node batched-window dynamics: high-water mark and shrink
+    count.  Empty unless some endpoint actually moved its window (the
+    gauge only registers observations on the batched write path)."""
+    rows = []
+    for kernel in system.all_kernels:
+        gauge = kernel.metrics.get("chan.window.size")
+        if gauge is None or gauge.max_value == 0.0:
+            continue
+        rows.append(
+            {
+                "node": kernel.name,
+                "window_last": int(gauge.value),
+                "window_max": int(gauge.max_value),
+                "shrinks": int(kernel.metrics.value("chan.window.shrinks")),
+            }
+        )
+    return rows
+
+
 def summarize(system, jsonl_path: Optional[str] = None) -> str:
     """The full report: optional JSONL dump plus the summary tables."""
     lines = []
@@ -123,6 +143,15 @@ def summarize(system, jsonl_path: Optional[str] = None) -> str:
         lines.append("")
         lines.append("--- channel stop-and-wait round-trip latency ---")
         lines.append(render_histogram(rtt))
+    window_rows = window_summary_rows(system)
+    if window_rows:
+        lines.append("")
+        lines.append("--- batched channel window (vstat) ---")
+        for row in window_rows:
+            lines.append(
+                f"{row['node']:<10} window={row['window_last']} "
+                f"(max {row['window_max']}) shrinks={row['shrinks']}"
+            )
     events = system.sim.vstat.events
     if len(events):
         lines.append("")

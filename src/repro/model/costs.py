@@ -134,12 +134,16 @@ class CostModel:
     # ------------------------------------------------------------------
     #: Maximum in-flight (unacknowledged) fragments a single large write
     #: may pipeline.  ``1`` is the paper-faithful stop-and-wait protocol
-    #: (the default, and what every Table 1/Table 2 calibration uses);
-    #: values > 1 enable the batched large-write path that charges one
-    #: setup cost per write and streams fragments back-to-back.  The
-    #: effective window is clamped to ``chan_side_buffers`` so a healthy
-    #: receiver can always buffer the whole window.
-    chan_batch_window: int = 1
+    #: (what every Table 1/Table 2 calibration uses; see
+    #: :meth:`unbatched`); values > 1 enable the batched large-write path
+    #: that charges one setup cost per write and streams fragments
+    #: back-to-back.  The default is the E20 knee (window 8).  Writes at
+    #: or below :attr:`hpc_max_message` are single-fragment and never
+    #: take the batched path, so the Table 1/2 anchors are unaffected.
+    #: The effective window is clamped to ``chan_side_buffers`` so a
+    #: healthy receiver can always buffer the whole window.  In adaptive
+    #: mode (:attr:`chan_window_adaptive`) this is the *initial* window.
+    chan_batch_window: int = 8
     #: One-time kernel setup for a batched write: validate the descriptor,
     #: build the fragment ring, start the hardware (charged once per
     #: write instead of once per fragment).
@@ -148,6 +152,38 @@ class CostModel:
     #: ring and kick the next DMA (the expensive validation/header work
     #: was done once at setup).
     chan_batch_frag_kernel: float = 12.0
+
+    # ------------------------------------------------------------------
+    # Adaptive batched window (AIMD congestion control over the
+    # deferred-ack flow control; see DESIGN.md "Adaptive window")
+    # ------------------------------------------------------------------
+    #: When True, the batched writer's window is a per-endpoint AIMD
+    #: variable instead of the fixed :attr:`chan_batch_window` (which
+    #: then only seeds the initial window).  Grow additively on clean
+    #: cumulative acks; shrink multiplicatively on retransmission,
+    #: ack-RTT inflation, or receiver side-buffer pressure.
+    chan_window_adaptive: bool = False
+    #: Lower clamp for the adaptive window (1 = may degrade all the way
+    #: to stop-and-wait under sustained pressure).
+    chan_window_min: int = 1
+    #: Upper clamp for the adaptive window; ``0`` means "use
+    #: :attr:`chan_side_buffers`" (the receiver can always buffer it).
+    chan_window_max: int = 0
+    #: Additive-increase step: fragments added to the window per
+    #: window's-worth of cleanly acked fragments (dimensionless).
+    chan_window_ai: float = 1.0
+    #: Multiplicative-decrease factor applied on a shrink trigger
+    #: (dimensionless, in (0, 1)).
+    chan_window_md: float = 0.5
+    #: EWMA smoothing weight for the ack-RTT estimator (dimensionless;
+    #: TCP's classic 1/8).
+    chan_rtt_alpha: float = 0.125
+    #: Shrink when a fresh ack-RTT sample exceeds this multiple of the
+    #: smoothed RTT (dimensionless).
+    chan_rtt_inflation: float = 2.0
+    #: Shrink when the receiver reports side-buffer occupancy at or
+    #: above this fraction of its pool (dimensionless, in (0, 1]).
+    chan_pressure_threshold: float = 0.75
 
     # ------------------------------------------------------------------
     # Engine-level wakeup coalescing (simulation optimisation, no
@@ -241,6 +277,60 @@ class CostModel:
     distributed_manager_request: float = 600.0
 
     # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        if self.chan_batch_window < 1:
+            raise ValueError(
+                f"chan_batch_window must be >= 1, got {self.chan_batch_window}"
+            )
+        if self.chan_side_buffers < 1:
+            raise ValueError(
+                f"chan_side_buffers must be >= 1, got {self.chan_side_buffers}"
+            )
+        effective = min(self.chan_batch_window, self.chan_side_buffers)
+        if self.chan_batch_window > 1 and effective == 1:
+            # A batched model whose clamp lands on 1 silently degrades to
+            # stop-and-wait -- almost always a mis-configuration (e.g.
+            # shrinking chan_side_buffers without also setting
+            # chan_batch_window=1).  Make it loud.
+            raise ValueError(
+                f"batched window {self.chan_batch_window} is clamped to 1 "
+                f"by chan_side_buffers={self.chan_side_buffers}; this "
+                "silently degrades to the unbatched stop-and-wait path. "
+                "Set chan_batch_window=1 (or use .unbatched()) if that is "
+                "intended, or raise chan_side_buffers."
+            )
+        if self.chan_window_min < 1:
+            raise ValueError(
+                f"chan_window_min must be >= 1, got {self.chan_window_min}"
+            )
+        if self.chan_window_max and self.chan_window_max < self.chan_window_min:
+            raise ValueError(
+                f"chan_window_max={self.chan_window_max} < "
+                f"chan_window_min={self.chan_window_min}"
+            )
+        if self.chan_window_ai <= 0.0:
+            raise ValueError(f"chan_window_ai must be > 0, got {self.chan_window_ai}")
+        if not 0.0 < self.chan_window_md < 1.0:
+            raise ValueError(
+                f"chan_window_md must be in (0, 1), got {self.chan_window_md}"
+            )
+        if not 0.0 < self.chan_rtt_alpha <= 1.0:
+            raise ValueError(
+                f"chan_rtt_alpha must be in (0, 1], got {self.chan_rtt_alpha}"
+            )
+        if self.chan_rtt_inflation <= 1.0:
+            raise ValueError(
+                f"chan_rtt_inflation must be > 1, got {self.chan_rtt_inflation}"
+            )
+        if not 0.0 < self.chan_pressure_threshold <= 1.0:
+            raise ValueError(
+                "chan_pressure_threshold must be in (0, 1], got "
+                f"{self.chan_pressure_threshold}"
+            )
+
+    # ------------------------------------------------------------------
     # Derived helpers
     # ------------------------------------------------------------------
     def copy_time(self, nbytes: int) -> float:
@@ -273,19 +363,81 @@ class CostModel:
         return replace(
             self,
             chan_batch_window=window,
+            chan_window_adaptive=False,
+            link_coalesce_wakeups=coalesce_wakeups,
+        )
+
+    def unbatched(self) -> "CostModel":
+        """The paper-faithful stop-and-wait model (one in-flight fragment).
+
+        This is what every Table 1/Table 2 calibration uses; the
+        determinism goldens pin its uncoalesced event order.
+        """
+        return replace(
+            self,
+            chan_batch_window=1,
+            chan_window_adaptive=False,
+            link_coalesce_wakeups=False,
+        )
+
+    def adaptive(
+        self,
+        *,
+        initial: int | None = None,
+        window_min: int = 1,
+        window_max: int = 0,
+        ai: float = 1.0,
+        md: float = 0.5,
+        rtt_alpha: float = 0.125,
+        rtt_inflation: float = 2.0,
+        pressure: float = 0.75,
+        coalesce_wakeups: bool = True,
+    ) -> "CostModel":
+        """A model with the AIMD adaptive batched window enabled.
+
+        ``initial`` seeds the starting window (defaults to the current
+        :attr:`chan_batch_window`); the window then grows additively by
+        ``ai`` per window's-worth of clean cumulative acks and shrinks by
+        ``md`` on retransmission, ack-RTT inflation past
+        ``rtt_inflation`` x the smoothed RTT (EWMA weight ``rtt_alpha``),
+        or receiver side-buffer occupancy at or above ``pressure``,
+        clamped to ``[window_min, window_max or chan_side_buffers]``.
+        All calibrated timing constants are unchanged.
+        """
+        return replace(
+            self,
+            chan_batch_window=(
+                self.chan_batch_window if initial is None else initial
+            ),
+            chan_window_adaptive=True,
+            chan_window_min=window_min,
+            chan_window_max=window_max,
+            chan_window_ai=ai,
+            chan_window_md=md,
+            chan_rtt_alpha=rtt_alpha,
+            chan_rtt_inflation=rtt_inflation,
+            chan_pressure_threshold=pressure,
             link_coalesce_wakeups=coalesce_wakeups,
         )
 
     def scaled(self, factor: float) -> "CostModel":
         """A model with every *time* constant multiplied by ``factor``.
 
-        Useful for ablations ("what if the CPU were 4x faster?").  Sizes
-        and counts are left unchanged.
+        Useful for ablations ("what if the CPU were 4x faster?").  Sizes,
+        counts, and the dimensionless adaptive-window ratios are left
+        unchanged.
         """
+        dimensionless = {
+            "chan_window_ai",
+            "chan_window_md",
+            "chan_rtt_alpha",
+            "chan_rtt_inflation",
+            "chan_pressure_threshold",
+        }
         times = {
             name: getattr(self, name) * factor
             for name, f in self.__dataclass_fields__.items()
-            if f.type == "float"
+            if f.type == "float" and name not in dimensionless
         }
         return replace(self, **times)
 

@@ -70,8 +70,24 @@ class ChannelEndpoint:
         #: True if we dropped a data message and owe the peer a RETRY.
         self.starved_peer = False
         #: In-flight unacknowledged fragments of a *batched* write, keyed
-        #: by transfer id (insertion order == transfer order).
-        self.window: dict[int, tuple[int, Any]] = {}
+        #: by transfer id (insertion order == transfer order):
+        #: ``(size, payload, sent_at)``.  ``sent_at`` feeds the adaptive
+        #: window's ack-RTT estimator and the watchdog's age gate.
+        self.window: dict[int, tuple[int, Any, float]] = {}
+        #: Adaptive (AIMD) congestion window in fragments, persistent
+        #: across writes on this endpoint.  ``None`` until the first
+        #: batched write under an adaptive cost model seeds it from
+        #: ``chan_batch_window``.
+        self.cwnd: Optional[float] = None
+        #: EWMA-smoothed ack round-trip time (0.0 = no sample yet).
+        self.srtt = 0.0
+        #: Transfer ids re-sent at least once: per Karn's algorithm their
+        #: acks yield no RTT sample (the sample would be ambiguous).
+        self.retransmitted: set[int] = set()
+        #: Shrink cooldown marker: shrink triggers attributed to transfer
+        #: ids below this are ignored, so one loss/pressure episode
+        #: shrinks the window once, not once per fragment.
+        self.recover_until = 0
         #: While a batched writer is blocked: wake it once ``len(window)``
         #: drops below this threshold (slot freed, or fully drained).
         self.wake_below = 0
@@ -140,6 +156,95 @@ class ChannelService:
         self._m_duplicate_drops = metrics.counter("chan.duplicate_drops")
         #: Whole-write round-trip latency (syscall entry to final ack).
         self._m_write_rtt = metrics.histogram("chan.write_rtt_us")
+        #: Adaptive-window observability: current effective window (the
+        #: gauge's high-water mark records the largest window reached)
+        #: and the number of multiplicative-decrease events.
+        self._m_window_size = metrics.gauge("chan.window.size")
+        self._m_window_shrinks = metrics.counter("chan.window.shrinks")
+
+    # ------------------------------------------------------------------
+    # adaptive window (AIMD) helpers
+    # ------------------------------------------------------------------
+    def _window_cap(self) -> int:
+        """Upper clamp for the effective window."""
+        costs = self.kernel.costs
+        cap = costs.chan_side_buffers
+        if costs.chan_window_max:
+            cap = min(cap, costs.chan_window_max)
+        return cap
+
+    def _window_limit(self, endpoint: ChannelEndpoint) -> int:
+        """Current effective window for ``endpoint``, in fragments.
+
+        Fixed mode: ``min(chan_batch_window, chan_side_buffers)``.
+        Adaptive mode: the integer part of the endpoint's AIMD ``cwnd``,
+        clamped to ``[chan_window_min, min(chan_window_max or
+        chan_side_buffers, chan_side_buffers)]``.
+        """
+        costs = self.kernel.costs
+        if not costs.chan_window_adaptive:
+            return min(costs.chan_batch_window, costs.chan_side_buffers)
+        if endpoint.cwnd is None:
+            endpoint.cwnd = float(
+                min(costs.chan_batch_window, self._window_cap())
+            )
+        return max(
+            costs.chan_window_min,
+            min(self._window_cap(), int(endpoint.cwnd)),
+        )
+
+    def _window_grow(self, endpoint: ChannelEndpoint, n_acked: int) -> None:
+        """Additive increase: ``ai`` fragments per window's-worth of acks."""
+        costs = self.kernel.costs
+        old = self._window_limit(endpoint)  # seeds cwnd if needed
+        endpoint.cwnd = min(
+            float(self._window_cap()),
+            endpoint.cwnd + costs.chan_window_ai * n_acked / max(old, 1),
+        )
+        new = self._window_limit(endpoint)
+        if new != old:
+            self._m_window_size.set(float(new))
+            self.kernel.emit("channel", "channel-window", data=endpoint.name,
+                             eid=endpoint.eid, size=new)
+
+    def _window_shrink(
+        self, endpoint: ChannelEndpoint, trigger_xfer: Optional[int],
+        reason: str,
+    ) -> bool:
+        """Multiplicative decrease, at most once per loss/pressure episode.
+
+        ``trigger_xfer`` attributes the trigger to a fragment: triggers
+        from fragments sent before the last shrink (below
+        :attr:`ChannelEndpoint.recover_until`) are echoes of the same
+        episode and are ignored.  Returns True if the window shrank.
+        """
+        costs = self.kernel.costs
+        if trigger_xfer is not None and trigger_xfer < endpoint.recover_until:
+            return False
+        endpoint.recover_until = endpoint.next_xfer
+        old = self._window_limit(endpoint)  # seeds cwnd if needed
+        endpoint.cwnd = max(
+            float(costs.chan_window_min),
+            endpoint.cwnd * costs.chan_window_md,
+        )
+        self._m_window_shrinks.inc()
+        new = self._window_limit(endpoint)
+        self._m_window_size.set(float(new))
+        self.kernel.emit("channel", "channel-window-shrink",
+                         data=endpoint.name, eid=endpoint.eid,
+                         reason=reason, size=new)
+        return True
+
+    def _ack_pressure(self, endpoint: ChannelEndpoint) -> Optional[float]:
+        """Side-buffer occupancy fraction piggybacked on batched acks.
+
+        Only attached under an adaptive cost model, so the fixed-window
+        and stop-and-wait ack wire format is unchanged.
+        """
+        costs = self.kernel.costs
+        if not costs.chan_window_adaptive:
+            return None
+        return len(endpoint.side_buffers) / costs.chan_side_buffers
 
     # ------------------------------------------------------------------
     # open / close (subprocess context)
@@ -232,7 +337,9 @@ class ChannelService:
         if nbytes < 0:
             raise ValueError(f"negative write length: {nbytes}")
         window_k = min(costs.chan_batch_window, costs.chan_side_buffers)
-        if window_k > 1 and nbytes > costs.hpc_max_message:
+        if (
+            window_k > 1 or costs.chan_window_adaptive
+        ) and nbytes > costs.hpc_max_message:
             yield from self._write_batched(
                 sp, endpoint, nbytes, payload, window_k
             )
@@ -305,6 +412,8 @@ class ChannelService:
                 or endpoint.closed
             ):
                 return
+            if self._abort_if_peer_crashed(endpoint):
+                return
             size, payload, xfer = endpoint.unacked
             self._m_timeout_retransmits.inc()
             kernel.emit("channel", "channel-timeout-retransmit",
@@ -362,6 +471,7 @@ class ChannelService:
         """
         kernel = self.kernel
         costs = kernel.costs
+        adaptive = costs.chan_window_adaptive
         started_at = kernel.sim.now
         # One kernel entry covers the whole call: the per-write syscall
         # plus the batch descriptor setup.
@@ -370,6 +480,7 @@ class ChannelService:
         injector = kernel.sim.faults
         watchdog_armed = False
         window = endpoint.window
+        self._m_window_size.set(float(self._window_limit(endpoint)))
         try:
             remaining = nbytes
             first = True
@@ -387,7 +498,9 @@ class ChannelService:
                     )
                 xfer = endpoint.next_xfer
                 endpoint.next_xfer += 1
-                window[xfer] = (fragment, payload if last else None)
+                window[xfer] = (
+                    fragment, payload if last else None, kernel.sim.now
+                )
                 kernel.post(
                     dst=endpoint.peer_addr,
                     size=fragment,
@@ -405,13 +518,23 @@ class ChannelService:
                 ):
                     # One watchdog guards the whole write (stop-and-wait
                     # arms one per fragment): on timeout it re-sends the
-                    # oldest unacknowledged window entry.
+                    # oldest unacknowledged window entry, and it fails
+                    # the write outright if the peer node has crashed
+                    # (nothing will ever acknowledge, and crash plans
+                    # have no link faults to trigger other recovery).
                     watchdog_armed = True
                     kernel.sim.process(self._batch_watchdog(endpoint))
                 # Block while the window is full -- or, after the last
-                # fragment, until every acknowledgement has drained.
-                limit = 1 if last else window_k
-                while len(window) >= limit:
+                # fragment, until every acknowledgement has drained.  In
+                # adaptive mode the limit is re-read after every wake:
+                # acks may have grown it, a loss or pressure episode may
+                # have shrunk it.
+                while True:
+                    limit = 1 if last else (
+                        self._window_limit(endpoint) if adaptive else window_k
+                    )
+                    if len(window) < limit:
+                        break
                     ack = kernel.sim.event()
                     endpoint.writer_event = ack
                     endpoint.wake_below = limit
@@ -423,6 +546,7 @@ class ChannelService:
         finally:
             endpoint.batch_active = False
             window.clear()
+            endpoint.retransmitted.clear()
         self._m_writes.inc()
         kernel.metrics.counter("chan.batched_writes").inc()
         self._m_write_rtt.observe(kernel.sim.now - started_at)
@@ -431,21 +555,35 @@ class ChannelService:
         """Generator (kernel context): go-back-N timeout retransmission.
 
         Started once per batched write, only while a fault plan can lose
-        messages.  Each period it re-sends the oldest unacknowledged
-        window entry; the receiver's in-order filter makes a spurious
-        re-send harmless (duplicate -> immediate re-ack).
+        messages (link loss *or* a possible node crash).  Each period it
+        re-sends the oldest unacknowledged window entry once that entry
+        has actually been outstanding for a full period (the age gate
+        keeps a merely-armed watchdog from perturbing fault-free timing);
+        the receiver's in-order filter makes a spurious re-send harmless
+        (duplicate -> immediate re-ack).  A crashed peer never
+        acknowledges and silently swallows every retransmission, so the
+        watchdog checks for it first and fails the write instead of
+        retransmitting forever.
         """
         kernel = self.kernel
-        period = kernel.sim.faults.plan.channel_retry_timeout_us
+        injector = kernel.sim.faults
+        period = injector.plan.channel_retry_timeout_us
         while True:
             yield kernel.sim.timeout(period)
             if not endpoint.batch_active or endpoint.closed:
+                return
+            if self._abort_if_peer_crashed(endpoint):
                 return
             window = endpoint.window
             if not window:
                 continue  # between fragments; the write is still active
             xfer = min(window)
-            size, frag_payload = window[xfer]
+            size, frag_payload, sent_at = window[xfer]
+            if kernel.sim.now - sent_at < period:
+                continue  # not stale yet: the ack is plausibly in flight
+            endpoint.retransmitted.add(xfer)
+            if kernel.costs.chan_window_adaptive:
+                self._window_shrink(endpoint, xfer, "timeout")
             self._m_timeout_retransmits.inc()
             kernel.emit("channel", "channel-timeout-retransmit",
                         data=endpoint.name, eid=endpoint.eid, size=size,
@@ -467,6 +605,37 @@ class ChannelService:
                 batched=True,
             )
 
+    def _abort_if_peer_crashed(self, endpoint: ChannelEndpoint) -> bool:
+        """Fail a blocked writer whose peer node has crashed.
+
+        Called from the watchdogs (they only run while a fault plan is
+        attached).  A crashed node's interfaces silently drop traffic in
+        both directions, so no ack, nak, or close will ever arrive: mark
+        the endpoint closed and wake the writer with
+        :class:`ChannelClosedError`.  Returns True if the peer is down.
+        """
+        kernel = self.kernel
+        injector = kernel.sim.faults
+        if (
+            injector is None
+            or endpoint.peer_addr is None
+            or not injector.is_crashed(endpoint.peer_addr)
+        ):
+            return False
+        endpoint.closed = True
+        kernel.metrics.counter("chan.peer_crash_aborts").inc()
+        kernel.emit("channel", "channel-peer-crash-abort",
+                    data=endpoint.name, eid=endpoint.eid,
+                    peer=endpoint.peer_addr)
+        event = endpoint.writer_event
+        if event is not None:
+            endpoint.writer_event = None
+            event.fail(ChannelClosedError(
+                f"channel {endpoint.name!r} peer node "
+                f"{endpoint.peer_addr} crashed"
+            ))
+        return True
+
     # ------------------------------------------------------------------
     # read (subprocess context)
     # ------------------------------------------------------------------
@@ -487,7 +656,7 @@ class ChannelService:
             yield kernel.k_exec(costs.copy_time(size))
             self._maybe_send_retry(endpoint)
             if owed is not None:
-                yield from self._send_owed_ack(owed)
+                yield from self._send_owed_ack(endpoint, owed)
             return size, payload
         if endpoint.closed:
             raise ChannelClosedError(f"channel {endpoint.name!r} closed")
@@ -542,7 +711,7 @@ class ChannelService:
                 yield kernel.k_exec(costs.copy_time(size))
                 self._maybe_send_retry(endpoint)
                 if owed is not None:
-                    yield from self._send_owed_ack(owed)
+                    yield from self._send_owed_ack(endpoint, owed)
                 return endpoint, size, payload
         if all(endpoint.closed for endpoint in endpoints):
             # Nothing buffered and every member closed: no data can ever
@@ -689,12 +858,15 @@ class ChannelService:
         # header: our own rendezvous reply may still be in flight, so
         # endpoint.peer_eid cannot be relied on here.  The ack echoes the
         # fragment's transfer id so a late re-ack (from the duplicate
-        # filter) cannot acknowledge a newer fragment.
+        # filter) cannot acknowledge a newer fragment.  Batched acks
+        # under an adaptive model also report side-buffer occupancy so
+        # the sender's window can back off before starvation.
         kernel.post(
             dst=packet.src,
             size=costs.chan_ack_bytes,
             kind=MessageKind.CHANNEL_ACK,
             channel=packet.src_channel,
+            payload=self._ack_pressure(endpoint) if packet.batched else None,
             xfer=packet.xfer,
         )
         if packet.batched:
@@ -727,15 +899,53 @@ class ChannelService:
             if packet.xfer is None:
                 return
             window = endpoint.window
+            costs = kernel.costs
             acked = [xfer for xfer in window if xfer <= packet.xfer]
             if not acked:
                 return  # stale re-ack for an already-retired fragment
+            rtt_sample = None
             for xfer in acked:
-                size, _ = window.pop(xfer)
+                size, _, sent_at = window.pop(xfer)
                 endpoint.messages_sent += 1
                 endpoint.bytes_sent += size
                 self._m_frags_sent.inc()
                 self._m_bytes_sent.inc(size)
+                # Karn's algorithm: a retransmitted fragment's ack is
+                # ambiguous (first send or re-send?), so it yields no
+                # RTT sample.  Sample the fragment the ack names.
+                if xfer == packet.xfer and xfer not in endpoint.retransmitted:
+                    rtt_sample = kernel.sim.now - sent_at
+                endpoint.retransmitted.discard(xfer)
+            if costs.chan_window_adaptive:
+                shrunk = False
+                # Receiver pressure rides on batched acks as the
+                # side-buffer occupancy fraction (see _ack_pressure).
+                occupancy = packet.payload
+                if (
+                    isinstance(occupancy, float)
+                    and occupancy >= costs.chan_pressure_threshold
+                ):
+                    shrunk = self._window_shrink(
+                        endpoint, packet.xfer, "pressure"
+                    )
+                if rtt_sample is not None:
+                    if (
+                        not shrunk
+                        and endpoint.srtt > 0.0
+                        and rtt_sample
+                        > costs.chan_rtt_inflation * endpoint.srtt
+                    ):
+                        shrunk = self._window_shrink(
+                            endpoint, packet.xfer, "rtt"
+                        )
+                    alpha = costs.chan_rtt_alpha
+                    endpoint.srtt = (
+                        rtt_sample if endpoint.srtt == 0.0
+                        else (1.0 - alpha) * endpoint.srtt
+                        + alpha * rtt_sample
+                    )
+                if not shrunk:
+                    self._window_grow(endpoint, len(acked))
             event = endpoint.writer_event
             if event is not None and len(window) < endpoint.wake_below:
                 endpoint.writer_event = None
@@ -787,7 +997,7 @@ class ChannelService:
                 if packet.xfer is not None:
                     for xfer in [x for x in sorted(window)
                                  if x <= packet.xfer]:
-                        size, _ = window.pop(xfer)
+                        size, _, _ = window.pop(xfer)
                         endpoint.messages_sent += 1
                         endpoint.bytes_sent += size
                         self._m_frags_sent.inc()
@@ -832,7 +1042,13 @@ class ChannelService:
                 # transfer-id order, and each pull requests exactly one
                 # fragment).
                 xfer = min(endpoint.window)
-                size, frag_payload = endpoint.window[xfer]
+                size, frag_payload, _ = endpoint.window[xfer]
+                endpoint.retransmitted.add(xfer)
+                if kernel.costs.chan_window_adaptive:
+                    # A pulled retransmission means the receiver dropped
+                    # a fragment (starvation or loss): a go-back-N shrink
+                    # trigger.
+                    self._window_shrink(endpoint, xfer, "retry")
                 self._m_retransmits.inc()
                 kernel.emit("channel", "channel-retransmit",
                             data=endpoint.name, eid=endpoint.eid, size=size)
@@ -908,12 +1124,16 @@ class ChannelService:
             payload=CTRL_RETRY,
         )
 
-    def _send_owed_ack(self, owed: tuple[int, int, int]):
+    def _send_owed_ack(
+        self, endpoint: ChannelEndpoint, owed: tuple[int, int, int]
+    ):
         """Generator: send the deferred ack a batched fragment earned.
 
         Consuming the side buffer is what frees the sender's window
         slot; the ack is cumulative at the sender, so a lost earlier ack
-        is covered by this one.
+        is covered by this one.  Under an adaptive model it reports the
+        *post-consumption* side-buffer occupancy (the pressure the
+        sender's next window decision should see).
         """
         kernel = self.kernel
         xfer, src, src_channel = owed
@@ -923,6 +1143,7 @@ class ChannelService:
             size=kernel.costs.chan_ack_bytes,
             kind=MessageKind.CHANNEL_ACK,
             channel=src_channel,
+            payload=self._ack_pressure(endpoint),
             xfer=xfer,
         )
 

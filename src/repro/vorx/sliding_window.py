@@ -194,6 +194,8 @@ def run_large_write(
     total_bytes: int = 1_048_576,
     chunk_bytes: int = 65_536,
     costs: CostModel = DEFAULT_COSTS,
+    reader_delay_us: float = 0.0,
+    faults=None,
 ) -> StreamResult:
     """Stream ``total_bytes`` down one channel in large fragmented writes.
 
@@ -208,6 +210,13 @@ def run_large_write(
     ``elapsed_us`` runs from the first write entering the kernel to the
     last fragment acknowledged; :attr:`StreamResult.kbytes_per_sec` is
     then directly comparable with the Table 1 bandwidth column.
+
+    ``reader_delay_us`` makes the receiver compute for that long after
+    every fragment it reads -- the slow-reader case the adaptive window
+    exists for (deferred acks pace the writer to the reader, so the
+    reader's compute time is on the flow-control path).  ``faults``
+    attaches a :class:`~repro.faults.plan.FaultPlan` so bulk writes can
+    be measured under seeded loss.
     """
     if total_bytes < 1 or chunk_bytes < 1:
         raise ValueError("total_bytes and chunk_bytes must be positive")
@@ -218,7 +227,7 @@ def run_large_write(
             f"({total_bytes})"
         )
     frags_per_chunk = -(-chunk_bytes // costs.hpc_max_message)
-    system = VorxSystem(n_nodes=2, costs=costs)
+    system = VorxSystem(n_nodes=2, costs=costs, faults=faults)
     done: dict[str, float] = {}
 
     def sender(env):
@@ -235,6 +244,8 @@ def run_large_write(
         yield from env.write(ch, 4)
         for _ in range(n_chunks * frags_per_chunk):
             yield from env.read(ch)
+            if reader_delay_us > 0.0:
+                yield from env.compute(reader_delay_us)
 
     tx = system.spawn(0, sender, name="bulk-sender")
     rx = system.spawn(1, receiver, name="bulk-receiver")

@@ -80,7 +80,7 @@ def equivalence_keys(result):
     window=st.integers(min_value=2, max_value=16),
 )
 def test_batched_equals_unbatched_fault_free(sizes, window):
-    base = run_stream(CostModel(), sizes)
+    base = run_stream(CostModel().unbatched(), sizes)
     batched = run_stream(CostModel().batched(window=window), sizes)
     assert equivalence_keys(batched) == equivalence_keys(base)
     # Internal consistency: both cdb directions agree in each mode.
@@ -107,7 +107,7 @@ def test_batched_equals_unbatched_under_faults(seed, window, drop, corrupt):
         seed=seed, drop=drop, corrupt=corrupt,
         channel_retry_timeout_us=2_000.0,
     )
-    base = run_stream(CostModel(), sizes, plan=plan())
+    base = run_stream(CostModel().unbatched(), sizes, plan=plan())
     batched = run_stream(CostModel().batched(window=window), sizes,
                          plan=plan())
     assert equivalence_keys(batched) == equivalence_keys(base)
@@ -125,7 +125,7 @@ def test_batched_schedule_is_deterministic():
 
 def test_batched_is_faster_and_coalescing_cuts_events():
     sizes = [64 * FRAG]
-    base = run_stream(CostModel(), sizes)
+    base = run_stream(CostModel().unbatched(), sizes)
     batch_only = run_stream(
         CostModel().batched(window=8, coalesce_wakeups=False), sizes)
     batch_coalesce = run_stream(CostModel().batched(window=8), sizes)

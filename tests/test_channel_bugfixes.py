@@ -101,7 +101,9 @@ def test_peer_close_during_fragmented_write_clears_unacked():
     """Recovery: the peer closes while a fragmented write is stalled on a
     dropped fragment.  The writer must see ChannelClosedError with its
     retransmission state cleared."""
-    costs = dataclasses.replace(DEFAULT_COSTS, chan_side_buffers=1)
+    costs = dataclasses.replace(
+        DEFAULT_COSTS, chan_batch_window=1, chan_side_buffers=1
+    )
     system = VorxSystem(n_nodes=2, costs=costs)
     endpoints = {}
 
@@ -133,7 +135,9 @@ def test_side_buffer_overflow_recovers_via_retry():
     """Recovery: a dropped fragment is NAK-recorded at the receiver and
     retransmitted after a side buffer frees (CTRL_RETRY), and the counters
     still agree on both sides afterwards."""
-    costs = dataclasses.replace(DEFAULT_COSTS, chan_side_buffers=1)
+    costs = dataclasses.replace(
+        DEFAULT_COSTS, chan_batch_window=1, chan_side_buffers=1
+    )
     system = VorxSystem(n_nodes=2, costs=costs)
     endpoints = {}
 
@@ -189,3 +193,127 @@ def test_channel_stream_rtt_histogram_matches_table2_anchor():
         if reg.get("chan.write_rtt_us") is not None
     )
     assert total == 301
+
+
+# ----------------------------------------------------------------------
+# batched-write close and crash recovery (adaptive-window PR bugfix sweep)
+# ----------------------------------------------------------------------
+def test_peer_close_during_batched_write_wakes_blocked_writer():
+    """Regression: a peer close() while the batched writer is blocked on
+    a full window must wake the writer with ChannelClosedError instead
+    of leaving it blocked forever (the reader never consumes, so no
+    deferred ack will ever free a window slot)."""
+    costs = DEFAULT_COSTS.batched(window=4)
+    outcome = {}
+
+    system = VorxSystem(n_nodes=2, costs=costs)
+
+    def writer(env):
+        ch = yield from env.open("batch-close")
+        try:
+            # 20 fragments against a window of 4 and a reader that never
+            # reads: the writer fills the window and blocks.
+            yield from env.write(ch, 20 * costs.hpc_max_message)
+            outcome["write"] = "completed"
+        except ChannelClosedError:
+            outcome["write"] = "closed"
+
+    def reader(env):
+        ch = yield from env.open("batch-close")
+        # Give the writer time to fill its window and block, then close
+        # without ever reading.
+        yield from env.sleep(5_000.0)
+        yield from env.close(ch)
+
+    system.spawn(0, writer)
+    system.spawn(1, reader)
+    system.run()  # unbounded: a stuck writer would hang this forever
+    assert outcome["write"] == "closed"
+
+
+def _crash_mid_write(costs, crash_at=3_000.0):
+    """Batched (or stop-and-wait) bulk write whose reader node crashes."""
+    from repro import FaultPlan
+
+    plan = FaultPlan(
+        seed=5,
+        node_crashes={1: crash_at},
+        channel_retry_timeout_us=1_000.0,
+    )
+    system = VorxSystem(n_nodes=2, costs=costs, faults=plan)
+    outcome = {}
+
+    def writer(env):
+        ch = yield from env.open("crash")
+        try:
+            yield from env.write(ch, 40 * costs.hpc_max_message)
+            outcome["write"] = "completed"
+        except ChannelClosedError:
+            outcome["write"] = "closed"
+
+    def reader(env):
+        ch = yield from env.open("crash")
+        while True:
+            yield from env.read(ch)
+
+    system.spawn(0, writer)
+    system.spawn(1, reader)
+    system.run()  # unbounded: must terminate without a watchdog livelock
+    return outcome, system
+
+
+def test_batched_writer_unblocks_when_reader_node_crashes():
+    """Regression: a reader node crash (crash-only fault plan, no link
+    faults) silently swallows every fragment and ack.  The batch
+    watchdog used to retransmit to the dead node forever; it must fail
+    the writer with ChannelClosedError instead."""
+    outcome, system = _crash_mid_write(DEFAULT_COSTS.batched(window=8))
+    assert outcome["write"] == "closed"
+    node0 = system.sim.vstat.registry("node0")
+    assert node0.value("chan.peer_crash_aborts") >= 1
+
+
+def test_stop_and_wait_writer_unblocks_when_reader_node_crashes():
+    outcome, system = _crash_mid_write(DEFAULT_COSTS.unbatched())
+    assert outcome["write"] == "closed"
+    node0 = system.sim.vstat.registry("node0")
+    assert node0.value("chan.peer_crash_aborts") >= 1
+
+
+def test_crash_armed_watchdog_keeps_fault_free_timing_bit_identical():
+    """A crash plan whose crash never arrives arms the watchdogs for
+    every write, but the age gate must keep fault-free timing exactly
+    as without any plan: same per-write completion times, and exactly
+    zero retransmissions or duplicate drops."""
+    from repro import FaultPlan
+
+    def timed_writes(faults):
+        system = VorxSystem(n_nodes=2, costs=DEFAULT_COSTS, faults=faults)
+        completions = []
+
+        def writer(env):
+            ch = yield from env.open("timing")
+            for i in range(4):
+                yield from env.write(ch, 8 * DEFAULT_COSTS.hpc_max_message,
+                                     payload=i)
+                completions.append(env.now)
+
+        def reader(env):
+            ch = yield from env.open("timing")
+            for _ in range(4 * 8):
+                yield from env.read(ch)
+
+        system.spawn(0, writer)
+        system.spawn(1, reader)
+        system.run()
+        return completions, system
+
+    clean, _ = timed_writes(None)
+    armed_plan = FaultPlan(seed=1, node_crashes={1: 10.0**9})
+    armed, system = timed_writes(armed_plan)
+    assert armed == clean  # bit-identical write-completion times
+    node0 = system.sim.vstat.registry("node0")
+    assert node0.value("chan.timeout_retransmits") == 0
+    assert node0.value("chan.retransmits") == 0
+    node1 = system.sim.vstat.registry("node1")
+    assert node1.value("chan.duplicate_drops") == 0

@@ -27,16 +27,20 @@ from repro.model.costs import CostModel
 from repro.sim import Simulator
 from repro.vorx.sliding_window import run_channel_stream
 
-#: sha256 over the channel-stream trace, recorded before the
-#: immediate-event lane landed.  If an engine change alters this, event
-#: ordering changed: do not update the constant without understanding why.
+#: sha256 over the channel-stream trace.  If an engine change alters
+#: this, event ordering changed: do not update the constant without
+#: understanding why.  Re-recorded once when the adaptive-window
+#: metrics (``chan.window.size`` / ``chan.window.shrinks``) joined the
+#: per-kernel registry snapshot -- the event schedule itself was
+#: verified bit-identical (events-only digest unchanged).
 GOLDEN_CHANNELS = (
-    "9ab022b7570bced1d8237890389081160248b2395ed783f76a38010bf961e2ec"
+    "79df3ce9926055d515b59ca3ee2933a0502f6ba66342345628ad0f47dc167073"
 )
 
-#: Same, for the seeded faultstorm workload.
+#: Same, for the seeded faultstorm workload (re-recorded alongside
+#: GOLDEN_CHANNELS for the same registry-snapshot reason).
 GOLDEN_FAULTSTORM = (
-    "64c8574c61dbdda1ba9337013824db38bf71525e84614588022fb21c8d8cec74"
+    "52b49476c0db0c01c7c33b96099e8e0e0eaa8a9d3ddf83fa65f6c348d8d5c23f"
 )
 
 #: Schedule-sensitive :meth:`TrafficResult.fingerprint` of the

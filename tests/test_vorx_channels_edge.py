@@ -124,7 +124,9 @@ def test_concurrent_writes_same_endpoint_rejected():
 def test_close_wakes_blocked_writer():
     from repro.vorx import ChannelClosedError
 
-    costs = dataclasses.replace(DEFAULT_COSTS, chan_side_buffers=1)
+    costs = dataclasses.replace(
+        DEFAULT_COSTS, chan_batch_window=1, chan_side_buffers=1
+    )
     system = VorxSystem(n_nodes=2, costs=costs)
 
     def writer(env):
