@@ -12,7 +12,9 @@ and read results via :func:`summarize` / :func:`fault_summary` and the
 tool classes (:class:`Prof`, :class:`SoftwareOscilloscope`,
 :class:`Cdb`, :class:`Vdb`).  For measurements, drive stochastic load
 with :class:`Workload` and orchestrate seeded sweeps with
-:class:`Experiment` / :class:`RunTable`.
+:class:`Experiment` / :class:`RunTable`; for fault-tolerance studies,
+sweep recovery policies against campaign-scale fault regimes with
+:class:`ChaosCampaign` and judge the cells against an :class:`SLO`.
 
 Quick start::
 
@@ -38,6 +40,19 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured results of every table and figure.
 """
 
+from repro.chaos import (
+    Brownout,
+    CascadingCrashes,
+    ChaosCampaign,
+    ChaosResult,
+    FaultRegime,
+    LinkGroupFailure,
+    NetworkPartition,
+    RecoveryPolicy,
+    SLO,
+    SLOReport,
+    validate_chaos_row,
+)
 from repro.exp import (
     Contrast,
     Experiment,
@@ -50,6 +65,7 @@ from repro.fabric import (
     FabricBackend,
     FabricPartition,
     available_topologies,
+    boundary_cut_sites,
     create_fabric,
     partition_fabric,
     run_all_pairs,
@@ -76,7 +92,7 @@ from repro.workload import (
 # dependency direction obvious.
 from repro.tools import Cdb, Prof, SoftwareOscilloscope, Vdb
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     # systems
@@ -104,6 +120,18 @@ __all__ = [
     "FaultPlan",
     "LinkFaults",
     "fault_summary",
+    # chaos campaigns
+    "ChaosCampaign",
+    "ChaosResult",
+    "RecoveryPolicy",
+    "FaultRegime",
+    "LinkGroupFailure",
+    "CascadingCrashes",
+    "NetworkPartition",
+    "Brownout",
+    "SLO",
+    "SLOReport",
+    "validate_chaos_row",
     # metrics & reports
     "summarize",
     "write_jsonl",
@@ -118,6 +146,7 @@ __all__ = [
     "FabricBackend",
     "FabricPartition",
     "available_topologies",
+    "boundary_cut_sites",
     "create_fabric",
     "partition_fabric",
     "run_all_pairs",

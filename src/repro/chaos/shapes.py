@@ -1,0 +1,370 @@
+"""Campaign-scale fault shapes and the regimes that compile them.
+
+A *shape* is a declarative description of one correlated failure mode --
+the kind the fault-tolerance literature studies at cluster scale rather
+than per-link:
+
+* :class:`LinkGroupFailure` -- every link touching a cluster group (or a
+  whole mesh row) degrades together for a window, the correlated-failure
+  pattern a shared power feed or line card produces;
+* :class:`CascadingCrashes` -- a seeded discrete-hazard crash schedule
+  where each crash boosts the hazard of topological neighbours, the
+  classic cascade model;
+* :class:`NetworkPartition` -- the boundary links of a contiguous
+  cluster block drop everything for a window, splitting the fabric;
+* :class:`Brownout` -- matching links serialize slower for a window (a
+  degraded link, not an outage).
+
+Shapes are pure data.  A :class:`FaultRegime` bundles shapes with a
+background loss rate and *compiles* them against a built fabric into one
+:class:`~repro.faults.plan.FaultPlan` -- site names and crash addresses
+are resolved at compile time, so a regime compiled on a scratch fabric
+transfers to every repetition of the same ``(topology, size, options)``
+cell (builder naming is deterministic).  A regime with no shapes and no
+loss rate is *fault-free* and compiles to ``None``: the campaign's
+control arm.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.fabric.partition import boundary_cut_sites
+from repro.faults.plan import FaultPlan
+
+#: Mesh cluster ports, mirroring ``build_mesh2d`` (0..3 = N, E, S, W).
+_MESH_EAST, _MESH_WEST = 1, 3
+
+
+def _require_clusters(fabric, shape: str):
+    """Return ``fabric.clusters`` or explain why the shape cannot apply."""
+    clusters = getattr(fabric, "clusters", None)
+    if not clusters:
+        name = getattr(fabric, "topology_name", type(fabric).__name__)
+        raise ValueError(
+            f"{shape} needs a cluster-based fabric (it resolves cluster "
+            f"link groups and adjacency); the {name!r} backend has no "
+            f"clusters"
+        )
+    return clusters
+
+
+def _check_window(shape: str, start_us, duration_us) -> None:
+    if start_us < 0:
+        raise ValueError(f"{shape}(start_us=...) cannot be negative, "
+                         f"got {start_us!r}")
+    if duration_us <= 0:
+        raise ValueError(f"{shape}(duration_us=...) must be positive, "
+                         f"got {duration_us!r}")
+
+
+@dataclass(frozen=True)
+class LinkGroupFailure:
+    """All links of a cluster group degrade together for a window.
+
+    ``clusters`` names the group explicitly; ``mesh_row`` instead walks
+    a 2-D mesh row east from its leftmost cluster (which must be in the
+    leftmost column).  Every link into or out of each group member --
+    endpoint attach links and inter-cluster trunks alike -- gets the
+    ``drop``/``corrupt`` override while the window is active.
+    """
+
+    clusters: tuple[int, ...] = ()
+    mesh_row: Optional[int] = None
+    start_us: float = 0.0
+    duration_us: float = 50_000.0
+    drop: float = 1.0
+    corrupt: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "clusters", tuple(self.clusters))
+        if (not self.clusters) == (self.mesh_row is None):
+            raise ValueError(
+                "LinkGroupFailure needs exactly one of clusters= (an "
+                "explicit group) or mesh_row= (walked on the mesh)"
+            )
+        _check_window("LinkGroupFailure", self.start_us, self.duration_us)
+
+    def _group(self, fabric) -> list[int]:
+        clusters = _require_clusters(fabric, "LinkGroupFailure")
+        if self.mesh_row is None:
+            bad = [c for c in self.clusters
+                   if not 0 <= c < len(clusters)]
+            if bad:
+                raise ValueError(
+                    f"LinkGroupFailure(clusters=...) ids {bad} outside "
+                    f"0..{len(clusters) - 1}"
+                )
+            return list(self.clusters)
+        if getattr(fabric, "topology_name", "") != "mesh":
+            raise ValueError(
+                f"LinkGroupFailure(mesh_row=...) needs the mesh "
+                f"topology, got "
+                f"{getattr(fabric, 'topology_name', 'unknown')!r}"
+            )
+        east = {}
+        has_west = set()
+        for a, a_port, b, b_port in fabric.cluster_links:
+            if a_port == _MESH_EAST:
+                east[a] = b
+                has_west.add(b)
+            if b_port == _MESH_EAST:  # pragma: no cover - symmetric wiring
+                east[b] = a
+                has_west.add(a)
+        start = self.mesh_row
+        if not 0 <= start < len(clusters) or start in has_west:
+            raise ValueError(
+                f"LinkGroupFailure(mesh_row={start}) must name a "
+                f"leftmost-column cluster (0..height-1)"
+            )
+        row = [start]
+        while row[-1] in east:
+            row.append(east[row[-1]])
+        return row
+
+    def contribute(self, fabric, rng: random.Random, spec: dict) -> None:
+        override = {"drop": self.drop, "corrupt": self.corrupt}
+        for cid in self._group(fabric):
+            # Outgoing links are named "c{cid}.p{port}->..."; incoming
+            # ones (endpoint attach and trunks) end in "->c{cid}".
+            # fnmatch anchors both ends, so "*->c1" cannot match c12.
+            for pattern in (f"c{cid}.p*->*", f"*->c{cid}"):
+                spec["site_windows"].append(
+                    (pattern, self.start_us, self.duration_us, override)
+                )
+
+
+@dataclass(frozen=True)
+class CascadingCrashes:
+    """A seeded crash schedule where failures beget neighbour failures.
+
+    ``seeds`` endpoints crash at ``start_us``; every ``interval_us``
+    after that, each live endpoint whose cluster hosts -- or neighbours
+    a cluster hosting -- a fresh crash itself crashes with probability
+    ``hazard`` (the neighbour hazard boost).  The cascade stops when a
+    round produces nothing new or ``max_crashes`` is reached, so the
+    compiled plan is a finite ``node_crashes`` table.
+    """
+
+    seeds: int = 1
+    start_us: float = 10_000.0
+    interval_us: float = 20_000.0
+    hazard: float = 0.4
+    max_crashes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.seeds < 1:
+            raise ValueError(
+                f"CascadingCrashes(seeds=...) must be >= 1, "
+                f"got {self.seeds!r}"
+            )
+        _check_window("CascadingCrashes", self.start_us, self.interval_us)
+        if not 0.0 <= self.hazard <= 1.0:
+            raise ValueError(
+                f"CascadingCrashes(hazard=...) must be a probability, "
+                f"got {self.hazard!r}"
+            )
+        if self.max_crashes < 1:
+            raise ValueError(
+                f"CascadingCrashes(max_crashes=...) must be >= 1, "
+                f"got {self.max_crashes!r}"
+            )
+
+    def contribute(self, fabric, rng: random.Random, spec: dict) -> None:
+        _require_clusters(fabric, "CascadingCrashes")
+        attachments = fabric.attachments
+        addresses = sorted(attachments)
+        adjacent: dict[int, set[int]] = {}
+        for a, _, b, _ in fabric.cluster_links:
+            adjacent.setdefault(a, set()).add(b)
+            adjacent.setdefault(b, set()).add(a)
+        crashed: dict[int, float] = {}
+        frontier = rng.sample(addresses, min(self.seeds, len(addresses)))
+        now = self.start_us
+        for address in frontier:
+            crashed[address] = now
+        while frontier and len(crashed) < self.max_crashes:
+            now += self.interval_us
+            hot = {attachments[a][0] for a in frontier}
+            hot |= {n for c in list(hot) for n in adjacent.get(c, ())}
+            frontier = []
+            for address in addresses:
+                if len(crashed) >= self.max_crashes:
+                    break
+                if address in crashed:
+                    continue
+                if attachments[address][0] not in hot:
+                    continue
+                if rng.random() < self.hazard:
+                    crashed[address] = now
+                    frontier.append(address)
+        for address, when in crashed.items():
+            prior = spec["node_crashes"].get(address)
+            spec["node_crashes"][address] = (
+                when if prior is None else min(prior, when)
+            )
+
+
+@dataclass(frozen=True)
+class NetworkPartition:
+    """Cut a contiguous cluster block off the fabric for a window.
+
+    The block is ``ceil(fraction * n_clusters)`` clusters starting at
+    ``first_cluster``; its boundary links (exactly one end inside, per
+    :func:`~repro.fabric.partition.boundary_cut_sites`) drop every
+    message while the window is active.  Traffic *within* the block and
+    within the remainder still flows -- the defining signature of a
+    partition, as opposed to an outage.
+    """
+
+    fraction: float = 0.25
+    first_cluster: int = 0
+    start_us: float = 10_000.0
+    duration_us: float = 60_000.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction < 1.0:
+            raise ValueError(
+                f"NetworkPartition(fraction=...) must be in (0, 1), "
+                f"got {self.fraction!r}"
+            )
+        if self.first_cluster < 0:
+            raise ValueError(
+                f"NetworkPartition(first_cluster=...) cannot be "
+                f"negative, got {self.first_cluster!r}"
+            )
+        _check_window("NetworkPartition", self.start_us, self.duration_us)
+
+    def contribute(self, fabric, rng: random.Random, spec: dict) -> None:
+        clusters = _require_clusters(fabric, "NetworkPartition")
+        n = len(clusters)
+        size = max(1, min(n - 1, round(n * self.fraction)))
+        if self.first_cluster + size > n:
+            raise ValueError(
+                f"NetworkPartition block [{self.first_cluster}, "
+                f"{self.first_cluster + size}) exceeds the {n} clusters"
+            )
+        block = list(range(self.first_cluster, self.first_cluster + size))
+        sites = boundary_cut_sites(fabric, block)
+        if not sites:
+            raise ValueError(
+                f"NetworkPartition block {block} has no boundary links "
+                f"on this fabric (is the block the whole fabric?)"
+            )
+        for site in sites:
+            # Exact link names are valid (wildcard-free) patterns.
+            spec["site_windows"].append(
+                (site, self.start_us, self.duration_us, {"drop": 1.0})
+            )
+
+
+@dataclass(frozen=True)
+class Brownout:
+    """Matching links serialize ``multiplier`` x slower for a window."""
+
+    pattern: str = "c*"
+    start_us: float = 0.0
+    duration_us: float = 80_000.0
+    multiplier: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not self.pattern:
+            raise ValueError("Brownout(pattern=...) cannot be empty")
+        _check_window("Brownout", self.start_us, self.duration_us)
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"Brownout(multiplier=...) must be >= 1.0, "
+                f"got {self.multiplier!r}"
+            )
+
+    def contribute(self, fabric, rng: random.Random, spec: dict) -> None:
+        spec["link_brownouts"].append(
+            (self.pattern, self.start_us, self.duration_us, self.multiplier)
+        )
+
+
+_SHAPE_TYPES = (LinkGroupFailure, CascadingCrashes, NetworkPartition,
+                Brownout)
+
+
+@dataclass(frozen=True)
+class FaultRegime:
+    """A named bundle of shapes plus a background loss rate.
+
+    ``compile(fabric, seed)`` resolves every shape against the built
+    fabric and returns one :class:`~repro.faults.plan.FaultPlan` (or
+    ``None`` for the fault-free control regime).  Compilation is
+    deterministic in ``(name, seed, fabric topology)``: the regime RNG
+    stream is ``"repro.chaos|{name}|{seed}"``, independent of the other
+    regimes in the campaign.
+    """
+
+    name: str
+    shapes: tuple = ()
+    drop: float = 0.0
+    kinds: tuple[str, ...] = ("user-object",)
+    max_injections: Optional[int] = None
+    delay_us: tuple[float, float] = (50.0, 500.0)
+
+    def __post_init__(self) -> None:
+        if not self.name or "|" in self.name:
+            raise ValueError(
+                f"FaultRegime(name=...) must be non-empty and '|'-free "
+                f"(it is an arm-label component), got {self.name!r}"
+            )
+        object.__setattr__(self, "shapes", tuple(self.shapes))
+        for shape in self.shapes:
+            if not isinstance(shape, _SHAPE_TYPES):
+                raise TypeError(
+                    f"FaultRegime(shapes=...) entries must be fault "
+                    f"shapes ({', '.join(t.__name__ for t in _SHAPE_TYPES)}),"
+                    f" got {shape!r}"
+                )
+        if not 0.0 <= self.drop < 1.0:
+            raise ValueError(
+                f"FaultRegime(drop=...) must be in [0, 1), "
+                f"got {self.drop!r}"
+            )
+        object.__setattr__(self, "kinds", tuple(self.kinds))
+
+    @property
+    def is_fault_free(self) -> bool:
+        """True when compiling yields no plan at all (the control arm)."""
+        return not self.shapes and self.drop == 0.0
+
+    def compile(self, fabric, seed: int) -> Optional[FaultPlan]:
+        """Resolve the shapes on ``fabric`` into one ``FaultPlan``."""
+        if self.is_fault_free:
+            return None
+        rng = random.Random(f"repro.chaos|{self.name}|{seed}")
+        plan_seed = rng.getrandbits(32)
+        spec: dict = {
+            "node_crashes": {}, "site_windows": [], "link_brownouts": [],
+        }
+        for shape in self.shapes:
+            shape.contribute(fabric, rng, spec)
+        links = {"*": {"drop": self.drop}} if self.drop else None
+        return FaultPlan(
+            seed=plan_seed,
+            links=links,
+            node_crashes=spec["node_crashes"] or None,
+            site_windows=spec["site_windows"] or None,
+            link_brownouts=spec["link_brownouts"] or None,
+            max_injections=self.max_injections,
+            delay_us=self.delay_us,
+            kinds=self.kinds,
+        )
+
+    def describe(self) -> str:
+        if self.is_fault_free:
+            return f"{self.name} (fault-free control)"
+        parts = [type(shape).__name__ for shape in self.shapes]
+        if self.drop:
+            parts.append(f"drop={self.drop:g}")
+        return f"{self.name} ({', '.join(parts)})"
+
+
+FAULT_FREE = FaultRegime(name="fault-free")
+"""The canonical control regime (compiles to ``None``)."""

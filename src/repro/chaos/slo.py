@@ -1,0 +1,181 @@
+"""Service-level objectives and the campaign verdict report.
+
+An :class:`SLO` declares the latency/availability envelope a cell must
+hold under fault injection -- pooled p95/p99 request latency ceilings
+(microseconds) and a failure-rate ceiling.  Each chaos cell is judged
+against every *declared* objective and contrasted (Mann-Whitney U on
+pooled per-request latencies) with the fault-free control cell of the
+same ``(topology, policy)``, so a verdict carries both the absolute
+"did it hold the objective" answer and the statistical "did the faults
+actually move the distribution" answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exp.experiment import Contrast
+
+
+@dataclass(frozen=True)
+class SLOObjective:
+    """One evaluated objective: declared ceiling vs measured value."""
+
+    name: str
+    target: float
+    measured: float
+
+    @property
+    def passed(self) -> bool:
+        return self.measured <= self.target
+
+    def __str__(self) -> str:
+        mark = "<=" if self.passed else ">"
+        return f"{self.name} {self.measured:g} {mark} {self.target:g}"
+
+
+@dataclass(frozen=True)
+class SLO:
+    """Declared objectives; ``None`` means "not an objective here".
+
+    All ceilings are inclusive: a cell passes an objective when its
+    measured value is less than or equal to the declared target.
+    """
+
+    p95_us: Optional[float] = None
+    p99_us: Optional[float] = None
+    failure_rate: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if (self.p95_us is None and self.p99_us is None
+                and self.failure_rate is None):
+            raise ValueError(
+                "SLO() needs at least one declared objective "
+                "(p95_us=, p99_us=, or failure_rate=)"
+            )
+        for name in ("p95_us", "p99_us"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(
+                    f"SLO({name}=...) must be positive, got {value!r}"
+                )
+        if self.failure_rate is not None and not (
+            0.0 <= self.failure_rate <= 1.0
+        ):
+            raise ValueError(
+                f"SLO(failure_rate=...) must be in [0, 1], "
+                f"got {self.failure_rate!r}"
+            )
+
+    def evaluate(
+        self, *, p95_us: float, p99_us: float, failure_rate: float,
+    ) -> tuple[SLOObjective, ...]:
+        """Judge measured values against every declared objective."""
+        objectives = []
+        if self.p95_us is not None:
+            objectives.append(
+                SLOObjective("p95_us", self.p95_us, round(p95_us, 3))
+            )
+        if self.p99_us is not None:
+            objectives.append(
+                SLOObjective("p99_us", self.p99_us, round(p99_us, 3))
+            )
+        if self.failure_rate is not None:
+            objectives.append(
+                SLOObjective("failure_rate", self.failure_rate,
+                             round(failure_rate, 6))
+            )
+        return tuple(objectives)
+
+    def describe(self) -> str:
+        parts = []
+        if self.p95_us is not None:
+            parts.append(f"p95 <= {self.p95_us:g}us")
+        if self.p99_us is not None:
+            parts.append(f"p99 <= {self.p99_us:g}us")
+        if self.failure_rate is not None:
+            parts.append(f"failure rate <= {100 * self.failure_rate:g}%")
+        return ", ".join(parts)
+
+
+@dataclass(frozen=True)
+class SLOVerdict:
+    """One cell's judgement: objectives plus the fault-free contrast."""
+
+    arm: str
+    policy: str
+    regime: str
+    topology: str
+    n_endpoints: int
+    objectives: tuple[SLOObjective, ...]
+    injected: int
+    #: Mann-Whitney latency contrast against the fault-free control cell
+    #: of the same (topology, policy); ``None`` on the control cell
+    #: itself or when either side completed nothing.
+    contrast: Optional[Contrast] = None
+    #: True on the fault-free control cell (excluded from pass/fail).
+    is_baseline: bool = False
+
+    @property
+    def passed(self) -> bool:
+        return all(objective.passed for objective in self.objectives)
+
+    @property
+    def failed_objectives(self) -> tuple[SLOObjective, ...]:
+        return tuple(o for o in self.objectives if not o.passed)
+
+    def row(self) -> dict:
+        """Plain-dict form for JSON export and table rendering."""
+        return {
+            "arm": self.arm,
+            "policy": self.policy,
+            "regime": self.regime,
+            "topology": self.topology,
+            "n_endpoints": self.n_endpoints,
+            "baseline": self.is_baseline,
+            "passed": self.passed,
+            "injected": self.injected,
+            "objectives": [
+                {"name": o.name, "target": o.target,
+                 "measured": o.measured, "passed": o.passed}
+                for o in self.objectives
+            ],
+            "contrast_p": (
+                None if self.contrast is None else self.contrast.p_value
+            ),
+            "contrast_significant": (
+                None if self.contrast is None
+                else self.contrast.significant
+            ),
+        }
+
+
+class SLOReport:
+    """Every cell's verdict, with the control cells kept for context."""
+
+    def __init__(self, slo: SLO, verdicts: list[SLOVerdict]) -> None:
+        self.slo = slo
+        self.verdicts = list(verdicts)
+
+    @property
+    def chaos_verdicts(self) -> list[SLOVerdict]:
+        """Verdicts on cells that actually injected a regime."""
+        return [v for v in self.verdicts if not v.is_baseline]
+
+    @property
+    def passed(self) -> list[SLOVerdict]:
+        return [v for v in self.chaos_verdicts if v.passed]
+
+    @property
+    def failed(self) -> list[SLOVerdict]:
+        return [v for v in self.chaos_verdicts if not v.passed]
+
+    def rows(self) -> list[dict]:
+        return [verdict.row() for verdict in self.verdicts]
+
+    def summary(self) -> str:
+        """Fixed-width verdict table (rendered by ``repro.metrics``)."""
+        from repro.metrics.report import format_slo_report
+
+        return format_slo_report(self)

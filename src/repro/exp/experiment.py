@@ -119,10 +119,15 @@ class RunResult:
     """Aggregated outcome of one experiment arm across repetitions."""
 
     def __init__(self, scenario: Scenario, seed: int,
-                 reps: list[WorkloadResult]) -> None:
+                 reps: list[WorkloadResult],
+                 injections: Optional[list[int]] = None) -> None:
         self.scenario = scenario
         self.seed = seed
         self.reps = list(reps)
+        #: Faults injected per repetition (zeros without a plan).
+        self.injections: tuple[int, ...] = tuple(
+            injections if injections is not None else [0] * len(self.reps)
+        )
         pooled: list[float] = []
         for rep in self.reps:
             pooled.extend(rep.latencies_us)
@@ -149,6 +154,16 @@ class RunResult:
     @property
     def failure_rate(self) -> float:
         return self.failed / self.offered if self.offered else 0.0
+
+    @property
+    def retries(self) -> int:
+        """Retry resend events summed over every repetition."""
+        return sum(rep.retries for rep in self.reps)
+
+    @property
+    def injected(self) -> int:
+        """Faults injected, summed over every repetition."""
+        return sum(self.injections)
 
     @property
     def throughput_per_s(self) -> float:
@@ -207,6 +222,8 @@ class RunResult:
                 "offered": rep.offered,
                 "completed": rep.completed,
                 "failed": rep.failed,
+                "retries": rep.retries,
+                "injected": self.injections[index],
                 "failure_rate": round(rep.failure_rate, 6),
                 "offered_rate_per_s": round(rep.offered_rate_per_s, 3),
                 "throughput_per_s": round(rep.throughput_per_s, 3),
@@ -372,18 +389,28 @@ class Experiment:
         arm = scenario.arm
         shared = isinstance(scenario.topology, FabricBackend)
         results: list[WorkloadResult] = []
+        injections: list[int] = []
         for rep in range(self.reps):
             fabric = self._fabric_for_rep()
             sim = fabric.sim
             if scenario.faults is not None and sim.faults is None:
-                # The fault host only needs `.sim`; crash wiring degrades
-                # gracefully without kernels (raw-fabric chaos arms).
-                scenario.faults.attach(SimpleNamespace(sim=sim))
+                # Passing the fabric lets crash wiring resolve raw
+                # endpoints through the attach table and lets the plan
+                # validate its site patterns against this topology.
+                scenario.faults.attach(
+                    SimpleNamespace(sim=sim, fabric=fabric)
+                )
+            injector = getattr(sim, "faults", None)
+            before = injector.injections if injector is not None else 0
             results.append(
                 self.workload.run(
                     fabric, seed=rep_seed(self.seed, arm, rep), arm=arm
                 )
             )
+            injections.append(
+                (injector.injections - before) if injector is not None
+                else 0
+            )
             if self.cooldown_us > 0 and shared:
                 sim.run(until=sim.now + self.cooldown_us)
-        return RunResult(scenario, self.seed, results)
+        return RunResult(scenario, self.seed, results, injections)

@@ -46,6 +46,8 @@ ROW_FIELDS: dict[str, tuple] = {
     "offered": (int,),
     "completed": (int,),
     "failed": (int,),
+    "retries": (int,),
+    "injected": (int,),
     "failure_rate": (int, float),
     "offered_rate_per_s": (int, float),
     "throughput_per_s": (int, float),
@@ -226,12 +228,16 @@ class RunTable:
         Cost model for fabric construction.
     options:
         Builder options applied to every named-topology arm.
+    scenarios:
+        Prepared :class:`Scenario` rows to run verbatim, mutually
+        exclusive with ``topologies``/``sizes``/``chaos``/``options``
+        (the chaos campaign driver builds its matrix this way).
     """
 
     def __init__(
         self,
         *,
-        topologies: Sequence[Union[str, FabricBackend]],
+        topologies: Optional[Sequence[Union[str, FabricBackend]]] = None,
         sizes: Sequence[int] = (64,),
         workload: Workload,
         reps: int = 3,
@@ -240,7 +246,29 @@ class RunTable:
         chaos=None,
         costs: Optional[CostModel] = None,
         options: Optional[dict] = None,
+        scenarios: Optional[Sequence[Scenario]] = None,
     ) -> None:
+        if scenarios is not None:
+            if topologies is not None or chaos is not None or options:
+                raise ValueError(
+                    "RunTable(): give scenarios= or the "
+                    "topologies=/sizes=/chaos=/options= form, not both"
+                )
+            if not scenarios:
+                raise ValueError("RunTable(scenarios=...) cannot be empty")
+            for scenario in scenarios:
+                if not isinstance(scenario, Scenario):
+                    raise TypeError(
+                        f"RunTable(scenarios=...) entries must be "
+                        f"Scenario, got {scenario!r}"
+                    )
+            self.workload = workload
+            self.reps = reps
+            self.seed = seed
+            self.cooldown_us = cooldown_us
+            self.costs = costs
+            self.scenarios = list(scenarios)
+            return
         if not topologies:
             raise ValueError("RunTable(topologies=...) cannot be empty")
         if not sizes:
@@ -255,7 +283,7 @@ class RunTable:
         self.seed = seed
         self.cooldown_us = cooldown_us
         self.costs = costs
-        self.scenarios: list[Scenario] = []
+        self.scenarios = []
         for topology in topologies:
             arm_sizes: Sequence[int]
             if isinstance(topology, FabricBackend):

@@ -21,6 +21,7 @@ from repro.fabric.partition import (
     FabricPartition,
     ShardFabric,
     TopologySpec,
+    boundary_cut_sites,
     partition_fabric,
     partition_spec,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "ShardFabric",
     "TopologySpec",
     "available_topologies",
+    "boundary_cut_sites",
     "create_fabric",
     "partition_fabric",
     "partition_spec",

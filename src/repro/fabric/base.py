@@ -64,6 +64,19 @@ class FabricBackend(ABC):
     def iface(self, address: int) -> Any:
         """The raw NIC at ``address`` (backend-specific type)."""
 
+    def fault_sites(self) -> list[str]:
+        """Sorted names of every fault-injection site on this backend.
+
+        A "site" is a name the transport hooks pass to the
+        :class:`~repro.faults.injector.FaultInjector` -- link names on a
+        cluster fabric, the bus and NIC names on S/NET.
+        ``FaultPlan.attach`` validates per-site override patterns against
+        this list so a pattern written for the wrong topology fails
+        loudly.  Backends that cannot enumerate their sites return ``[]``
+        (validation is then skipped).
+        """
+        return []
+
     # -- routing -----------------------------------------------------------
     @abstractmethod
     def reachable(self, src: int, dst: int) -> bool:

@@ -208,6 +208,31 @@ def partition_spec(
     )
 
 
+def boundary_cut_sites(fabric: Fabric, clusters) -> list[str]:
+    """Directed link-site names crossing the boundary of a cluster block.
+
+    ``clusters`` is any iterable of cluster ids; the result names both
+    directions of every cluster-to-cluster wire with exactly one end in
+    the block -- the set a :class:`~repro.faults.plan.FaultPlan` site
+    window must drop to partition the block off the fabric.  Endpoint
+    entry/exit links are untouched (they never cross cluster
+    boundaries), so traffic *within* the block still flows.
+    """
+    block = set(clusters)
+    unknown = block - set(range(len(fabric.clusters)))
+    if unknown:
+        raise ValueError(
+            f"boundary_cut_sites: cluster ids {sorted(unknown)} do not "
+            f"exist on this {len(fabric.clusters)}-cluster fabric"
+        )
+    sites = []
+    for a, a_port, b, b_port in fabric.cluster_links:
+        if (a in block) != (b in block):
+            sites.append(f"c{a}.p{a_port}->c{b}")
+            sites.append(f"c{b}.p{b_port}->c{a}")
+    return sorted(sites)
+
+
 def partition_fabric(fabric: Fabric, n_shards: int) -> FabricPartition:
     """Partition a built fabric (see :func:`partition_spec`)."""
     if not isinstance(fabric, Fabric):

@@ -61,6 +61,8 @@ class FaultInjector:
         self._rngs: dict[str, random.Random] = {}
         self._site_faults: dict[str, object] = {}
         self._stalls: dict[str, list[tuple[float, float]]] = {}
+        self._windows: dict[str, list] = {}
+        self._brownouts: dict[str, list[tuple[float, float, float]]] = {}
         #: address -> crash time; populated up front so hooks never race
         #: the crash callback.
         self.crash_times = dict(plan.node_crashes)
@@ -83,6 +85,20 @@ class FaultInjector:
             faults = self.plan.resolve(site)
             self._site_faults[site] = faults
         return faults
+
+    def _effective(self, site: str):
+        """The fault probabilities in force at ``site`` *now*: the first
+        active ``site_windows`` override wins, else the static table."""
+        windows = self._windows.get(site)
+        if windows is None:
+            windows = self.plan.window_faults(site)
+            self._windows[site] = windows
+        if windows:
+            now = self.sim.now
+            for start, end, faults in windows:
+                if start <= now < end:
+                    return faults
+        return self._faults_at(site)
 
     # ------------------------------------------------------------------
     # bookkeeping
@@ -183,11 +199,46 @@ class FaultInjector:
         return remaining
 
     # ------------------------------------------------------------------
+    # brownouts
+    # ------------------------------------------------------------------
+    def brownout_extra_us(self, site: str, base_us: float) -> float:
+        """Extra serialization microseconds for ``site`` right now.
+
+        During an active ``link_brownouts`` window a link takes
+        ``multiplier`` times its normal wire time; this returns the
+        *additional* delay on top of ``base_us`` (0.0 outside windows).
+        Brownouts are degradation, not loss: they hit every message kind
+        and do not consume the ``max_injections`` budget.
+        """
+        windows = self._brownouts.get(site)
+        if windows is None:
+            windows = self.plan.brownout_windows(site)
+            self._brownouts[site] = windows
+        if not windows:
+            return 0.0
+        now = self.sim.now
+        multiplier = 1.0
+        for start, end, factor in windows:
+            if start <= now < end:
+                multiplier = max(multiplier, factor)
+        if multiplier <= 1.0:
+            return 0.0
+        extra = base_us * (multiplier - 1.0)
+        self.metrics.counter("faults.brownouts").inc()
+        stream = self.sim.vstat.events
+        if stream.enabled:
+            stream.emit(
+                self.sim.now, node=site, subsystem="faults",
+                name="link-brownout", extra_us=extra,
+            )
+        return extra
+
+    # ------------------------------------------------------------------
     # per-message decisions
     # ------------------------------------------------------------------
     def link_decision(self, site: str, packet: "Packet") -> LinkDecision:
         """Decide drop/corrupt/delay/duplicate for one HPC link message."""
-        faults = self._faults_at(site)
+        faults = self._effective(site)
         if not faults.any_loss or str(packet.kind) not in self.plan.kinds:
             return _NO_LINK_FAULT
         if not self._budget_left():
@@ -217,7 +268,7 @@ class FaultInjector:
 
     def bus_decision(self, site: str, packet: "Packet") -> BusDecision:
         """Decide reject/overflow/delay/duplicate for one S/NET message."""
-        faults = self._faults_at(site)
+        faults = self._effective(site)
         overflow_p = self.plan.force_fifo_overflow
         if not faults.any_loss and overflow_p == 0.0:
             return _NO_BUS_FAULT

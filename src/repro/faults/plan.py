@@ -21,6 +21,15 @@ if TYPE_CHECKING:  # pragma: no cover
 DEFAULT_FAULTABLE_KINDS: tuple[str, ...] = ("channel-data", "channel-ack")
 
 
+@dataclass(frozen=True)
+class _EndpointShim:
+    """Kernel-shaped stand-in for a raw fabric endpoint (crash wiring
+    only needs ``name`` and ``iface``)."""
+
+    name: str
+    iface: object
+
+
 def _check_probability(argument: str, value) -> float:
     if not isinstance(value, (int, float)) or isinstance(value, bool):
         raise TypeError(
@@ -84,6 +93,19 @@ class FaultPlan:
     nic_stalls:
         Iterable of ``(site_pattern, start_us, duration_us)`` windows
         during which matching interfaces/links do not transmit.
+    site_windows:
+        Iterable of ``(site_pattern, start_us, duration_us, overrides)``
+        entries applying a per-site fault override (same fields as
+        ``links``) only while the window is active.  Windows are checked
+        before the static ``links`` table; the first *active* matching
+        window wins.  This is the primitive the chaos shapes (correlated
+        link-group failures, network partitions) compile down to.
+    link_brownouts:
+        Iterable of ``(site_pattern, start_us, duration_us, multiplier)``
+        windows during which matching links serialize ``multiplier``
+        times slower -- a degraded link, distinct from a full
+        ``nic_stalls`` outage.  Applies to every message kind and does
+        not consume the ``max_injections`` budget.
     max_injections:
         Optional global cap on injected faults (crash isolation drops are
         not counted against it).
@@ -99,6 +121,7 @@ class FaultPlan:
     _FIELDS = (
         "seed", "drop", "corrupt", "delay", "duplicate", "delay_us",
         "links", "force_fifo_overflow", "node_crashes", "nic_stalls",
+        "site_windows", "link_brownouts",
         "max_injections", "channel_retry_timeout_us", "kinds",
     )
 
@@ -115,6 +138,12 @@ class FaultPlan:
         force_fifo_overflow: float = 0.0,
         node_crashes: Optional[Mapping[int, float]] = None,
         nic_stalls: Optional[Iterable[tuple[str, float, float]]] = None,
+        site_windows: Optional[
+            Iterable[tuple[str, float, float, Mapping]]
+        ] = None,
+        link_brownouts: Optional[
+            Iterable[tuple[str, float, float, float]]
+        ] = None,
         max_injections: Optional[int] = None,
         channel_retry_timeout_us: float = 5_000.0,
         kinds: Sequence[str] = DEFAULT_FAULTABLE_KINDS,
@@ -131,30 +160,9 @@ class FaultPlan:
         )
         self.links: dict[str, LinkFaults] = {}
         for pattern, override in (links or {}).items():
-            unknown = set(override) - {
-                "drop", "corrupt", "delay", "duplicate", "delay_us"
-            }
-            if unknown:
-                raise ValueError(
-                    f"FaultPlan(links=...) override for {pattern!r} has "
-                    f"unknown field(s) {sorted(unknown)!r}"
-                )
-            merged = {
-                "drop": self.defaults.drop,
-                "corrupt": self.defaults.corrupt,
-                "delay": self.defaults.delay,
-                "duplicate": self.defaults.duplicate,
-                **{k: v for k, v in override.items() if k != "delay_us"},
-            }
-            merged = {
-                key: _check_probability(f"links[{pattern!r}].{key}", value)
-                for key, value in merged.items()
-            }
-            merged["delay_us"] = self._check_delay_range(
-                f"links[{pattern!r}].delay_us",
-                override.get("delay_us", self.defaults.delay_us),
+            self.links[pattern] = self._merge_override(
+                "links", pattern, override
             )
-            self.links[pattern] = LinkFaults(**merged)
         self.force_fifo_overflow = _check_probability(
             "force_fifo_overflow", force_fifo_overflow
         )
@@ -186,6 +194,50 @@ class FaultPlan:
                     "start_us >= 0 and duration_us > 0"
                 )
             self.nic_stalls.append((str(pattern), float(start), float(duration)))
+        self.site_windows: list[tuple[str, float, float, LinkFaults]] = []
+        for window in site_windows or ():
+            try:
+                pattern, start, duration, override = window
+            except (TypeError, ValueError):
+                raise ValueError(
+                    "FaultPlan(site_windows=...) entries must be "
+                    "(site_pattern, start_us, duration_us, overrides), "
+                    f"got {window!r}"
+                ) from None
+            if start < 0 or duration <= 0:
+                raise ValueError(
+                    f"FaultPlan(site_windows=...) window {window!r} needs "
+                    "start_us >= 0 and duration_us > 0"
+                )
+            faults = self._merge_override("site_windows", pattern, override)
+            self.site_windows.append(
+                (str(pattern), float(start), float(start) + float(duration),
+                 faults)
+            )
+        self.link_brownouts: list[tuple[str, float, float, float]] = []
+        for window in link_brownouts or ():
+            try:
+                pattern, start, duration, multiplier = window
+            except (TypeError, ValueError):
+                raise ValueError(
+                    "FaultPlan(link_brownouts=...) entries must be "
+                    "(site_pattern, start_us, duration_us, multiplier), "
+                    f"got {window!r}"
+                ) from None
+            if start < 0 or duration <= 0:
+                raise ValueError(
+                    f"FaultPlan(link_brownouts=...) window {window!r} needs "
+                    "start_us >= 0 and duration_us > 0"
+                )
+            if not isinstance(multiplier, (int, float)) or multiplier < 1.0:
+                raise ValueError(
+                    f"FaultPlan(link_brownouts=...) multiplier must be "
+                    f">= 1.0, got {multiplier!r}"
+                )
+            self.link_brownouts.append(
+                (str(pattern), float(start), float(start) + float(duration),
+                 float(multiplier))
+            )
         if max_injections is not None and max_injections < 0:
             raise ValueError(
                 f"FaultPlan(max_injections=...) must be >= 0 or None, "
@@ -199,6 +251,35 @@ class FaultPlan:
             )
         self.channel_retry_timeout_us = float(channel_retry_timeout_us)
         self.kinds = frozenset(str(kind) for kind in kinds)
+
+    def _merge_override(
+        self, argument: str, pattern: str, override: Mapping
+    ) -> LinkFaults:
+        """Defaults + one per-site override dict, fully validated."""
+        unknown = set(override) - {
+            "drop", "corrupt", "delay", "duplicate", "delay_us"
+        }
+        if unknown:
+            raise ValueError(
+                f"FaultPlan({argument}=...) override for {pattern!r} has "
+                f"unknown field(s) {sorted(unknown)!r}"
+            )
+        merged = {
+            "drop": self.defaults.drop,
+            "corrupt": self.defaults.corrupt,
+            "delay": self.defaults.delay,
+            "duplicate": self.defaults.duplicate,
+            **{k: v for k, v in override.items() if k != "delay_us"},
+        }
+        merged = {
+            key: _check_probability(f"{argument}[{pattern!r}].{key}", value)
+            for key, value in merged.items()
+        }
+        merged["delay_us"] = self._check_delay_range(
+            f"{argument}[{pattern!r}].delay_us",
+            override.get("delay_us", self.defaults.delay_us),
+        )
+        return LinkFaults(**merged)
 
     @staticmethod
     def _check_delay_range(argument: str, value) -> tuple[float, float]:
@@ -227,6 +308,7 @@ class FaultPlan:
         return (
             self.defaults.any_loss
             or any(faults.any_loss for faults in self.links.values())
+            or any(faults.any_loss for *_, faults in self.site_windows)
             or bool(self.node_crashes)
         )
 
@@ -248,14 +330,47 @@ class FaultPlan:
             if fnmatchcase(site, pattern)
         ]
 
+    def window_faults(
+        self, site: str
+    ) -> list[tuple[float, float, LinkFaults]]:
+        """The ``(start, end, faults)`` windowed overrides for ``site``,
+        in declaration order (the injector picks the first active one)."""
+        return [
+            (start, end, faults)
+            for pattern, start, end, faults in self.site_windows
+            if fnmatchcase(site, pattern)
+        ]
+
+    def brownout_windows(self, site: str) -> list[tuple[float, float, float]]:
+        """The ``(start, end, multiplier)`` brownouts applying to ``site``."""
+        return [
+            (start, end, multiplier)
+            for pattern, start, end, multiplier in self.link_brownouts
+            if fnmatchcase(site, pattern)
+        ]
+
+    def site_patterns(self) -> list[str]:
+        """Every site-name pattern this plan references, for validation."""
+        patterns = list(self.links)
+        patterns.extend(pattern for pattern, *_ in self.nic_stalls)
+        patterns.extend(pattern for pattern, *_ in self.site_windows)
+        patterns.extend(pattern for pattern, *_ in self.link_brownouts)
+        return patterns
+
     # ------------------------------------------------------------------
     # attachment
     # ------------------------------------------------------------------
     def attach(self, system) -> "FaultInjector":
-        """Attach to a ``VorxSystem``/``SnetSystem``; returns the injector.
+        """Attach to a system or fabric backend; returns the injector.
 
-        ``system`` only needs ``sim`` plus (for crash wiring) a way to
-        find a kernel by address -- both system classes provide one.
+        ``system`` needs ``sim`` plus -- for crash wiring -- a way to find
+        an endpoint by address: ``kernel_at``, a ``nodes`` list, or a
+        ``fabric``/backend attach table.  A bare ``FabricBackend`` works
+        too.  When the fabric enumerates its injection sites
+        (:meth:`~repro.fabric.base.FabricBackend.fault_sites`), every
+        site pattern in the plan is validated against them here, so a
+        typo'd or wrong-topology override fails loudly instead of
+        silently matching nothing.
         """
         from repro.faults.injector import FaultInjector
 
@@ -264,31 +379,107 @@ class FaultPlan:
             raise RuntimeError(
                 "a FaultPlan is already attached to this simulator"
             )
+        fabric = getattr(system, "fabric", None)
+        if fabric is None and hasattr(system, "iface"):
+            fabric = system  # a bare FabricBackend
+        self._validate_sites(fabric)
         injector = FaultInjector(sim, self)
         sim.faults = injector
         for address, crash_time in self.node_crashes.items():
-            kernel = self._kernel_for(system, address)
+            kernel = self._kernel_for(system, fabric, address)
             sim.call_later(
                 max(0.0, crash_time - sim.now), injector._crash, address,
                 kernel,
             )
         return injector
 
+    def attach_shard(self, fabric) -> "FaultInjector":
+        """Attach to one shard's fabric slice of a sharded simulation.
+
+        Crash schedules are wired only for locally-attached addresses
+        (remote ones belong to some other shard's injector); site
+        patterns are validated against the *full* topology by the
+        orchestrator, not per shard, since each shard only sees its own
+        links.  Per-site RNG streams depend on ``(seed, site)`` alone,
+        so the fault schedule is shard-stable by construction.
+        """
+        from repro.faults.injector import FaultInjector
+
+        sim = fabric.sim
+        if getattr(sim, "faults", None) is not None:
+            raise RuntimeError(
+                "a FaultPlan is already attached to this simulator"
+            )
+        injector = FaultInjector(sim, self)
+        sim.faults = injector
+        local = getattr(fabric, "attachments", None) or {}
+        for address, crash_time in self.node_crashes.items():
+            if address not in local:
+                continue
+            iface = fabric.iface(address)
+            shim = _EndpointShim(getattr(iface, "name", f"addr{address}"),
+                                 iface)
+            sim.call_later(
+                max(0.0, crash_time - sim.now), injector._crash, address,
+                shim,
+            )
+        return injector
+
+    def _validate_sites(self, fabric) -> None:
+        """Check every site pattern matches >= 1 real injection site."""
+        if fabric is None:
+            return
+        enumerate_sites = getattr(fabric, "fault_sites", None)
+        if enumerate_sites is None:
+            return
+        sites = enumerate_sites()
+        if not sites:
+            return
+        for pattern in self.site_patterns():
+            if any(fnmatchcase(site, pattern) for site in sites):
+                continue
+            sample = ", ".join(repr(site) for site in sites[:6])
+            raise ValueError(
+                f"FaultPlan site pattern {pattern!r} matches none of the "
+                f"{len(sites)} injection sites on this "
+                f"{getattr(fabric, 'topology_name', 'fabric')} fabric "
+                f"(e.g. {sample}); check FabricBackend.fault_sites()"
+            )
+
     @staticmethod
-    def _kernel_for(system, address: int):
-        """Best-effort kernel lookup by address (VORX or Meglos systems)."""
+    def _kernel_for(system, fabric, address: int):
+        """Endpoint lookup by address for crash wiring.
+
+        Tries the system's kernel table, then its ``nodes`` list, then
+        the fabric backend's attach table; a crash address that matches
+        nothing is a configuration error and raises instead of silently
+        scheduling a no-op crash.
+        """
         finder = getattr(system, "kernel_at", None)
         if finder is not None:
             try:
                 return finder(address)
             except KeyError:
-                return None
+                pass
         nodes = getattr(system, "nodes", None)
         if nodes is not None:
             for node in nodes:
                 if getattr(node, "address", None) == address:
                     return node
-        return None
+        if fabric is not None and address in getattr(fabric, "addresses", ()):
+            iface = fabric.iface(address)
+            return _EndpointShim(getattr(iface, "name", f"addr{address}"),
+                                 iface)
+        known = list(getattr(fabric, "addresses", ())) if fabric is not None \
+            else sorted(
+                getattr(node, "address", -1)
+                for node in (getattr(system, "nodes", None) or ())
+            )
+        raise ValueError(
+            f"FaultPlan(node_crashes=...) address {address} matches no "
+            f"endpoint on this system (known addresses: "
+            f"{known[:8]}{'...' if len(known) > 8 else ''})"
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         d = self.defaults

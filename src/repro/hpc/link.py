@@ -194,6 +194,10 @@ class Link:
                     self.metrics.counter("link.reserve_stall_us").inc(stalled)
                 size = packet.size
                 wire = wire_time(size) + hop_latency
+                if injector is not None:
+                    # Degraded link: a brownout window stretches the
+                    # serialization itself, so busy time reflects it.
+                    wire += injector.brownout_extra_us(self.name, wire)
                 yield sim.timeout(wire)
                 m_busy.value += wire
                 m_messages.value += 1.0

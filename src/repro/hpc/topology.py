@@ -300,6 +300,16 @@ class Fabric(FabricBackend):
             if link is not None:
                 yield link
 
+    def fault_sites(self) -> list[str]:
+        """Sorted link names -- the sites the pump hands the injector.
+
+        Covers both directions of every wire: endpoint entry/exit links
+        (``"node0->c0"``, ``"c0.p1->node0"``) and cluster-to-cluster
+        links (``"c0.p2->c1"``), whatever the topology builder named
+        them.
+        """
+        return sorted({link.name for link in self._links()})
+
     def contention(self) -> dict:
         """Hardware flow-control pressure summed over every link.
 

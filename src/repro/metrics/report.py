@@ -129,6 +129,63 @@ def window_summary_rows(system) -> list[dict]:
     return rows
 
 
+def fault_summary_rows(system) -> list[dict]:
+    """Injected-fault counters, one row per kind (empty without a plan).
+
+    ``system`` only needs ``sim``; the injector hangs off ``sim.faults``
+    and its ``summary()`` already aggregates the vstat fault counters.
+    """
+    injector = getattr(system.sim, "faults", None)
+    if injector is None:
+        return []
+    return [
+        {"kind": kind, "count": count}
+        for kind, count in sorted(injector.summary().items())
+    ]
+
+
+def format_slo_report(report) -> str:
+    """Fixed-width verdict table for a duck-typed ``SLOReport``.
+
+    One row per cell: baseline cells are marked ``base`` instead of a
+    PASS/FAIL verdict, failed objectives are spelled out, and the
+    Mann-Whitney p-value against the fault-free control is appended
+    when a contrast exists.
+    """
+    header = (
+        f"{'policy':<14} {'regime':<16} {'topology':<14} {'inj':>6} "
+        f"{'verdict':<8} detail"
+    )
+    lines = [f"SLO: {report.slo.describe()}", header, "-" * len(header)]
+    for verdict in report.verdicts:
+        if verdict.is_baseline:
+            word = "base"
+            detail = ", ".join(str(o) for o in verdict.objectives)
+        elif verdict.passed:
+            word = "PASS"
+            detail = ", ".join(str(o) for o in verdict.objectives)
+        else:
+            word = "FAIL"
+            detail = ", ".join(
+                str(o) for o in verdict.failed_objectives
+            )
+        if verdict.contrast is not None:
+            mark = "*" if verdict.contrast.significant else ""
+            detail += (f"  [vs fault-free: "
+                       f"p={verdict.contrast.p_value:.4g}{mark}]")
+        topology = f"{verdict.topology}/{verdict.n_endpoints}"
+        lines.append(
+            f"{verdict.policy:<14} {verdict.regime:<16} "
+            f"{topology:<14} {verdict.injected:>6} {word:<8} {detail}"
+        )
+    chaos = report.chaos_verdicts
+    if chaos:
+        lines.append(
+            f"{len(report.passed)}/{len(chaos)} chaos cells hold the SLO"
+        )
+    return "\n".join(lines)
+
+
 def summarize(system, jsonl_path: Optional[str] = None) -> str:
     """The full report: optional JSONL dump plus the summary tables."""
     lines = []
@@ -152,6 +209,16 @@ def summarize(system, jsonl_path: Optional[str] = None) -> str:
                 f"{row['node']:<10} window={row['window_last']} "
                 f"(max {row['window_max']}) shrinks={row['shrinks']}"
             )
+    fault_rows = fault_summary_rows(system)
+    if fault_rows:
+        injector = system.sim.faults
+        lines.append("")
+        lines.append("--- fault injection (vstat) ---")
+        lines.append(
+            f"{injector.injections} injected: " + ", ".join(
+                f"{row['kind']}={row['count']}" for row in fault_rows
+            )
+        )
     events = system.sim.vstat.events
     if len(events):
         lines.append("")

@@ -36,8 +36,16 @@ schedule-sensitive :meth:`ShardedTrafficResult.fingerprint` -- are
 identical for every worker count; the delivered-message
 :attr:`ShardedTrafficResult.digest` additionally equals the unsharded
 :func:`repro.fabric.traffic.run_all_pairs` digest for the same plan
-(backend parity).  Fault plans are not supported across shard
-boundaries.
+(backend parity).
+
+Fault plans are supported: ``ShardedSimulator(..., faults=plan)``
+attaches an injector to *every* shard engine
+(:meth:`~repro.faults.plan.FaultPlan.attach_shard`).  Per-site RNG
+streams are keyed by ``(seed, site name)`` alone, so the fault schedule
+is shard-stable -- the same sites misbehave identically for every
+worker count -- and crash schedules are wired on whichever shard owns
+the crashed endpoint (every other shard still isolation-drops its
+traffic via the shared ``crash_times`` table).
 """
 
 from __future__ import annotations
@@ -90,6 +98,9 @@ class ShardedTrafficResult:
     #: Messages that crossed a shard boundary (captures, not fibres).
     boundary_messages: int
     lookahead_us: float
+    #: Faults injected, summed over every shard's injector (0 without a
+    #: plan; crash isolation drops are not injections).
+    injections: int = 0
 
     def fingerprint(self) -> str:
         """Schedule-sensitive digest for sharded-run goldens.
@@ -154,6 +165,7 @@ class _ShardRuntime:
         partition: FabricPartition,
         shard_id: int,
         costs: "CostModel",
+        faults=None,
     ) -> None:
         self.shard_id = shard_id
         self.sim = Simulator()
@@ -161,6 +173,8 @@ class _ShardRuntime:
         self.fabric = ShardFabric(
             self.sim, costs, spec, partition, shard_id, self.outbox
         )
+        if faults is not None:
+            faults.attach_shard(self.fabric)
         self.records: list = []
         self.hops: list[int] = []
         self.sent = 0
@@ -217,12 +231,14 @@ class _ShardRuntime:
         return self.sim.peek(), out
 
     def result(self) -> dict:
+        injector = getattr(self.sim, "faults", None)
         return {
             "records": self.records,
             "hops": self.hops,
             "processed": self.sim.processed,
             "now": self.sim.now,
             "sent": self.sent,
+            "injections": injector.injections if injector else 0,
         }
 
 
@@ -232,10 +248,12 @@ class _ShardRuntime:
 class _InProcessWorkers:
     """All shards in this process -- the ``workers=1`` debug/golden mode."""
 
-    def __init__(self, spec, partition, costs, shard_ids, drive) -> None:
+    def __init__(
+        self, spec, partition, costs, shard_ids, drive, faults=None
+    ) -> None:
         self.runtimes: dict[int, _ShardRuntime] = {}
         for sid in shard_ids:
-            runtime = _ShardRuntime(spec, partition, sid, costs)
+            runtime = _ShardRuntime(spec, partition, sid, costs, faults)
             runtime.start_drive(drive)
             self.runtimes[sid] = runtime
 
@@ -255,11 +273,13 @@ class _InProcessWorkers:
         pass
 
 
-def _worker_main(conn, spec, partition, costs, shard_ids, drive) -> None:
+def _worker_main(
+    conn, spec, partition, costs, shard_ids, drive, faults=None
+) -> None:
     """Worker-process entry: build the owned shards, then serve rounds."""
     runtimes: dict[int, _ShardRuntime] = {}
     for sid in shard_ids:
-        runtime = _ShardRuntime(spec, partition, sid, costs)
+        runtime = _ShardRuntime(spec, partition, sid, costs, faults)
         runtime.start_drive(drive)
         runtimes[sid] = runtime
     conn.send(("ready", {sid: rt.sim.peek() for sid, rt in runtimes.items()}))
@@ -286,7 +306,9 @@ def _worker_main(conn, spec, partition, costs, shard_ids, drive) -> None:
 class _ProcessWorkers:
     """Shards spread over ``multiprocessing`` worker processes."""
 
-    def __init__(self, spec, partition, costs, assignment, drive) -> None:
+    def __init__(
+        self, spec, partition, costs, assignment, drive, faults=None
+    ) -> None:
         methods = multiprocessing.get_all_start_methods()
         ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn"
@@ -298,7 +320,8 @@ class _ProcessWorkers:
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
                 target=_worker_main,
-                args=(child_conn, spec, partition, costs, shard_ids, drive),
+                args=(child_conn, spec, partition, costs, shard_ids, drive,
+                      faults),
                 daemon=True,
             )
             proc.start()
@@ -373,6 +396,7 @@ class ShardedSimulator:
         shards: int,
         workers: int = 1,
         costs: Optional["CostModel"] = None,
+        faults=None,
         **options,
     ) -> None:
         from repro.fabric.registry import create_fabric
@@ -394,6 +418,20 @@ class ShardedSimulator:
         self.spec = TopologySpec.of(fabric)
         self.partition = partition_spec(self.spec, shards, self.costs)
         self.workers = workers
+        self.faults = faults
+        if faults is not None:
+            # Validate up front against the *full* topology: each shard
+            # slice only sees its own links, so per-shard attach skips
+            # validation and a bad pattern would otherwise no-op.
+            faults._validate_sites(fabric)
+            known = set(self.spec.addresses)
+            missing = sorted(set(faults.node_crashes) - known)
+            if missing:
+                raise ValueError(
+                    f"FaultPlan(node_crashes=...) addresses {missing} "
+                    f"match no endpoint on this {topology} fabric "
+                    f"({len(known)} endpoints)"
+                )
 
     @property
     def n_shards(self) -> int:
@@ -431,12 +469,14 @@ class ShardedSimulator:
         n_workers = min(self.workers, len(shard_ids))
         if n_workers == 1:
             transport = _InProcessWorkers(
-                self.spec, partition, self.costs, shard_ids, drive
+                self.spec, partition, self.costs, shard_ids, drive,
+                self.faults,
             )
         else:
             assignment = [shard_ids[w::n_workers] for w in range(n_workers)]
             transport = _ProcessWorkers(
-                self.spec, partition, self.costs, assignment, drive
+                self.spec, partition, self.costs, assignment, drive,
+                self.faults,
             )
         try:
             rounds, boundary_messages, results = self._window_loop(
@@ -523,6 +563,7 @@ class ShardedSimulator:
         hops: list[int] = []
         sent = 0
         events = 0
+        injections = 0
         duration = 0.0
         for sid in sorted(results):
             shard = results[sid]
@@ -530,6 +571,7 @@ class ShardedSimulator:
             hops.extend(shard["hops"])
             sent += shard["sent"]
             events += shard["processed"]
+            injections += shard.get("injections", 0)
             if shard["now"] > duration:
                 duration = shard["now"]
         delivered = len(records)
@@ -547,4 +589,5 @@ class ShardedSimulator:
             events=events,
             boundary_messages=boundary_messages,
             lookahead_us=self.partition.lookahead_us,
+            injections=injections,
         )

@@ -88,6 +88,12 @@ class SNetFabric(FabricBackend):
     def iface(self, address: int) -> SNetInterface:
         return self.interfaces[address]
 
+    def fault_sites(self) -> list[str]:
+        """The shared bus plus every NIC name (stall windows hit NICs)."""
+        return ["snet.bus"] + sorted(
+            iface.name for iface in self.interfaces.values()
+        )
+
     def _require_endpoint(self, address: int) -> None:
         if address not in self.interfaces:
             raise ValueError(

@@ -237,6 +237,8 @@ class WorkloadResult:
     records: tuple[RequestRecord, ...] = field(repr=False)
     #: Completion time per rid (absent = never completed).
     completions_us: dict = field(repr=False)
+    #: Retry resend events issued by the recovery policy (0 without one).
+    retries: int = 0
 
     @property
     def failure_rate(self) -> float:
@@ -291,6 +293,21 @@ class Workload:
     timeout_us:
         A completed request slower than this -- or one that never
         completes, e.g. under fault injection -- counts as failed.
+    retries:
+        Recovery policy: how many times a front-end re-issues a
+        request's fan-out legs when replies are still missing after
+        ``retry_timeout_us``.  0 (the default) spawns no watchdogs at
+        all, so fault-free schedules stay bit-identical.
+    retry_timeout_us:
+        Watchdog period before the first retry (required when
+        ``retries > 0``).
+    retry_backoff:
+        Multiplier applied to the watchdog period after each retry
+        (>= 1.0; 1.0 = fixed period).
+    retry_reroute:
+        When True a retry redraws its backend set (seeded, per-request
+        stream) instead of re-contacting the original -- possibly
+        crashed -- backends.
     trace:
         A JSONL path or a list of :class:`RequestRecord` to replay
         instead of planning synthetically.
@@ -309,6 +326,10 @@ class Workload:
         service_us=0.0,
         frontends: Optional[int] = None,
         timeout_us: Optional[float] = None,
+        retries: int = 0,
+        retry_timeout_us: Optional[float] = None,
+        retry_backoff: float = 1.0,
+        retry_reroute: bool = False,
         trace: Union[str, Path, Sequence[RequestRecord], None] = None,
         name: str = "workload",
     ) -> None:
@@ -342,10 +363,36 @@ class Workload:
                 f"Workload(timeout_us=...) must be positive or None, "
                 f"got {timeout_us!r}"
             )
+        if not isinstance(retries, int) or isinstance(retries, bool):
+            raise TypeError(
+                f"Workload(retries=...) must be an int, got {retries!r}"
+            )
+        if retries < 0:
+            raise ValueError(
+                f"Workload(retries=...) must be >= 0, got {retries}"
+            )
+        if retries > 0 and (
+            retry_timeout_us is None or retry_timeout_us <= 0
+        ):
+            raise ValueError(
+                "Workload(retries=...) needs a positive retry_timeout_us, "
+                f"got {retry_timeout_us!r}"
+            )
+        if retry_backoff < 1.0:
+            raise ValueError(
+                f"Workload(retry_backoff=...) must be >= 1.0, "
+                f"got {retry_backoff!r}"
+            )
         self.arrivals = arrivals
         self.n_requests = n_requests
         self.frontends = frontends
         self.timeout_us = None if timeout_us is None else float(timeout_us)
+        self.retries = retries
+        self.retry_timeout_us = (
+            None if retry_timeout_us is None else float(retry_timeout_us)
+        )
+        self.retry_backoff = float(retry_backoff)
+        self.retry_reroute = bool(retry_reroute)
         self.name = str(name)
         self._fanout = _sampler(fanout, "Workload(fanout=...)",
                                 integer=True, minimum=1)
@@ -479,11 +526,54 @@ class Workload:
 
         start = sim.now
         completions: dict[int, float] = {}
+        retry_state = {"count": 0}
+        retry_counter = registry.counter("requests.retries", labels=(arm,))
+        n_front = self.frontend_count(len(addresses))
 
         def on_complete(hub_rid: int, entry: _Pending) -> None:
             completions[hub_rid - rid_base] = entry.completed_at
             latency_hist.observe(entry.completed_at - entry.arrival)
             completed_counter.inc()
+
+        def send_legs(record: RequestRecord, hub_rid: int,
+                      frontend_addr: int, backends: Sequence[int]):
+            for target, backend in zip(record.targets, backends):
+                packet = Packet(
+                    src=frontend_addr,
+                    dst=addresses[backend],
+                    size=target.request_bytes,
+                    kind=MessageKind.USER_OBJECT,
+                    payload=(_REQ, hub_rid, frontend_addr,
+                             target.reply_bytes, target.service_us),
+                )
+                yield from fabric.send(frontend_addr, packet)
+
+        def watchdog(record: RequestRecord, hub_rid: int,
+                     frontend_addr: int):
+            # Spawned only when retries > 0, so the zero-retry schedule
+            # (and every pre-existing golden) is untouched.
+            period = self.retry_timeout_us
+            reroute_rng = None
+            for attempt in range(self.retries):
+                yield sim.timeout(period)
+                entry = hub.pending.get(hub_rid)
+                if entry is None or entry.outstanding <= 0:
+                    return
+                backends = [target.backend for target in record.targets]
+                if self.retry_reroute:
+                    if reroute_rng is None:
+                        reroute_rng = random.Random(
+                            f"repro.workload|retry|{self.name}|"
+                            f"{seed_label}|{record.rid}"
+                        )
+                    backends = reroute_rng.sample(
+                        range(n_front, len(addresses)), len(backends)
+                    )
+                retry_state["count"] += 1
+                retry_counter.inc()
+                yield from send_legs(record, hub_rid, frontend_addr,
+                                     backends)
+                period *= self.retry_backoff
 
         def request(record: RequestRecord) -> object:
             def _run():
@@ -494,16 +584,14 @@ class Workload:
                     _Pending(len(record.targets), sim.now),
                     on_complete,
                 )
-                for target in record.targets:
-                    packet = Packet(
-                        src=frontend_addr,
-                        dst=addresses[target.backend],
-                        size=target.request_bytes,
-                        kind=MessageKind.USER_OBJECT,
-                        payload=(_REQ, hub_rid, frontend_addr,
-                                 target.reply_bytes, target.service_us),
+                if self.retries > 0:
+                    sim.process(
+                        watchdog(record, hub_rid, frontend_addr)
                     )
-                    yield from fabric.send(frontend_addr, packet)
+                yield from send_legs(
+                    record, hub_rid, frontend_addr,
+                    [target.backend for target in record.targets],
+                )
             return _run()
 
         def injector():
@@ -556,11 +644,19 @@ class Workload:
             plan_fingerprint=trace_fingerprint(records),
             records=tuple(records),
             completions_us=completions,
+            retries=retry_state["count"],
         )
 
     def describe(self) -> str:
+        suffix = ""
+        if self.retries > 0:
+            reroute = "+reroute" if self.retry_reroute else ""
+            suffix = (
+                f", retry x{self.retries}@{self.retry_timeout_us:.0f}us"
+                f"{reroute}"
+            )
         if self._trace_records is not None:
-            return f"replay({len(self._trace_records)} requests)"
+            return f"replay({len(self._trace_records)} requests){suffix}"
         return (
-            f"{self.arrivals.describe()}, {self.n_requests} requests"
+            f"{self.arrivals.describe()}, {self.n_requests} requests{suffix}"
         )

@@ -93,7 +93,7 @@ def test_positional_vorx_system_raises_type_error():
 
 
 def test_version_is_current():
-    assert repro.__version__ == "1.4.0"
+    assert repro.__version__ == "1.5.0"
 
 
 def test_experiment_surface_exported():
